@@ -1,0 +1,79 @@
+"""Figure 12: CPU utilization breakdown during the penultimate superstep.
+
+The paper instruments one superstep and attributes CPU to five phases:
+W (writing embeddings: ODAG creation/serialization/transfer), R (reading:
+ODAG extraction), G (generating candidates), C (embedding canonicality),
+P (pattern aggregation).  Findings: storing/sharing/extracting embeddings
+dominates (W ~25-50%), user functions are negligible, and Cliques skips P.
+
+With ``profile_phases`` the engine wall-clock-stamps the same five phases.
+"""
+
+from repro.apps import CliqueFinding, FrequentSubgraphMining, MotifCounting
+from repro.core import ArabesqueConfig, run_computation
+from repro.datasets import citeseer_like, mico_like
+from repro.graph import strip_labels
+
+from _harness import report
+
+WORKLOADS = [
+    (
+        "FSM-CiteSeer",
+        lambda: citeseer_like(),
+        lambda: FrequentSubgraphMining(150, max_edges=4),
+    ),
+    (
+        "Motifs-MiCo",
+        lambda: strip_labels(mico_like(scale=0.006)),
+        lambda: MotifCounting(4),
+    ),
+    (
+        "Cliques-MiCo",
+        lambda: strip_labels(mico_like(scale=0.006)),
+        lambda: CliqueFinding(max_size=5),
+    ),
+]
+
+PHASES = ("W", "R", "G", "C", "P")
+
+
+def test_fig12_cpu_breakdown(benchmark):
+    rows = {}
+
+    def run_all():
+        for name, make_graph, make_app in WORKLOADS:
+            config = ArabesqueConfig(profile_phases=True, collect_outputs=False)
+            result = run_computation(make_graph(), make_app(), config)
+            # Penultimate superstep, like the paper.
+            steps = result.metrics.supersteps
+            step = steps[-2] if len(steps) >= 2 else steps[-1]
+            rows[name] = dict(step.phase_seconds)
+        return rows
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = [f"{'workload':<14} " + " ".join(f"{p:>6}" for p in PHASES)]
+    shares = {}
+    for name, phases in rows.items():
+        total = sum(phases.values()) or 1.0
+        share = {p: 100.0 * phases.get(p, 0.0) / total for p in PHASES}
+        shares[name] = share
+        lines.append(
+            f"{name:<14} " + " ".join(f"{share[p]:>5.1f}%" for p in PHASES)
+        )
+    lines += [
+        "",
+        "paper (Fig 12): W dominates (48-50%; 25% for Cliques); R is small",
+        "  (1-5%); C is 11-18%; P is 15-26% where pattern aggregation is",
+        "  used; user-defined functions are negligible.",
+    ]
+    report("fig12", "Figure 12: CPU phase breakdown (penultimate superstep)", lines)
+
+    for name, share in shares.items():
+        # Storing/sharing/extracting embeddings (W+R) plus canonicality is
+        # the bulk of the work everywhere.
+        assert share["W"] + share["R"] + share["C"] + share["P"] > 40.0, name
+    # Pattern aggregation is a real cost for FSM but idle for Cliques'
+    # single-shape exploration is still charged pattern lookups, so just
+    # check FSM spends more there proportionally.
+    assert shares["FSM-CiteSeer"]["P"] >= shares["Cliques-MiCo"]["P"] - 5.0

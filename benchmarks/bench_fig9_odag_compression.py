@@ -1,0 +1,80 @@
+"""Figure 9: compression effect of ODAGs per exploration depth.
+
+The paper compares the serialized size of the intermediate embeddings with
+and without ODAGs at each depth (FSM on CiteSeer S=220 MS=7 and on Youtube
+S=250k) and finds the gap growing to "several orders of magnitude" at the
+deeper levels, where many embeddings share array entries.
+
+The engine records both sizes on every run (``storage_bytes`` is the ODAG
+wire size after the global merge; ``list_bytes`` is what the same embedding
+set would need as plain word lists), so one run per dataset yields both
+curves.  Substitution note: our downscaled labeled Youtube stand-in has no
+frequent patterns past depth 2 (80 labels over 4.6k vertices), so the
+second series uses exhaustive unlabeled exploration (motifs) on it instead;
+that is the same storage regime — one ODAG per unlabeled pattern with heavy
+prefix sharing — that makes the paper's deep FSM levels compress so well.
+"""
+
+from repro.apps import FrequentSubgraphMining, MotifCounting
+from repro.core import ArabesqueConfig, run_computation
+from repro.datasets import citeseer_like, youtube_like
+from repro.graph import strip_labels
+
+from _harness import report
+
+WORKLOADS = [
+    (
+        "CiteSeer-FSM",
+        lambda: citeseer_like(),
+        lambda: FrequentSubgraphMining(100, max_edges=4),
+    ),
+    (
+        "Youtube-Motifs",
+        lambda: strip_labels(youtube_like(scale=0.00007)),
+        lambda: MotifCounting(4),
+    ),
+]
+
+
+def test_fig9_odag_compression(benchmark):
+    results = {}
+
+    def run_all():
+        for name, make_graph, make_app in WORKLOADS:
+            config = ArabesqueConfig(collect_outputs=False)
+            results[name] = run_computation(make_graph(), make_app(), config)
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = [
+        f"{'workload':<15} {'depth':>5} {'ODAG bytes':>12} {'list bytes':>12} "
+        f"{'ratio':>7}"
+    ]
+    ratios = {}
+    for name, result in results.items():
+        for stats in result.steps:
+            if stats.stored_embeddings == 0:
+                continue
+            ratio = stats.list_bytes / stats.storage_bytes
+            ratios.setdefault(name, []).append(ratio)
+            lines.append(
+                f"{name:<15} {stats.step + 1:>5} {stats.storage_bytes:>12,} "
+                f"{stats.list_bytes:>12,} {ratio:>7.2f}"
+            )
+    lines += [
+        "",
+        "paper (Fig 9): compression grows with depth, reaching several",
+        "  orders of magnitude by depth 5-6 (our runs stop at depth 3-4,",
+        "  where the paper's curves are also still in the single digits).",
+    ]
+    report("fig9", "Figure 9: ODAG vs embedding-list serialized size", lines)
+
+    for name, series in ratios.items():
+        # ODAGs win at the deepest level and the win grows with depth.
+        assert series[-1] > 1.0, name
+        assert series[-1] >= max(series[:-1]) * 0.9, name
+    # The exhaustive unlabeled workload compresses strictly better with
+    # every level (single pattern per size, maximal prefix sharing).
+    youtube = ratios["Youtube-Motifs"]
+    assert all(b > a for a, b in zip(youtube, youtube[1:]))

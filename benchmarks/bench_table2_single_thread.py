@@ -1,0 +1,101 @@
+"""Table 2: single-thread Arabesque vs centralized baselines.
+
+The paper shows that one Arabesque worker is competitive with the dedicated
+centralized implementations (G-Tries for motifs, Mace for cliques), with
+GRAMI ahead only because it solves a simpler problem (frequent *patterns*,
+not embeddings) — the gap closes when VFLib must enumerate the embeddings.
+
+Here both sides are Python, so the *ratios* are the reproducible part:
+Arabesque-on-one-worker should be within a small factor of the baseline
+for motifs/cliques, and GRAMI-without-embedding-listing should beat the
+Arabesque FSM that materializes every embedding.
+"""
+
+import time
+
+from repro.apps import CliqueFinding, FrequentSubgraphMining, MotifCounting
+from repro.baselines import (
+    count_cliques_by_size,
+    count_motifs_up_to,
+    find_frequent_embeddings,
+    run_grami,
+)
+from repro.core import ArabesqueConfig, run_computation
+from repro.datasets import citeseer_like, mico_like
+from repro.graph import strip_labels
+
+from _harness import report
+
+
+def timed(fn):
+    started = time.perf_counter()
+    value = fn()
+    return time.perf_counter() - started, value
+
+
+def test_table2_single_thread_comparison(benchmark):
+    mico = strip_labels(mico_like(scale=0.008))
+    citeseer = citeseer_like()
+    config = ArabesqueConfig(num_workers=1, collect_outputs=False)
+    rows = []
+
+    def run_all():
+        # Motifs MS=3 on MiCo: G-Tries substitute (ESU) vs Arabesque.
+        base_t, base_counts = timed(lambda: count_motifs_up_to(mico, 3))
+        ara_t, ara_result = timed(
+            lambda: run_computation(mico, MotifCounting(3), config)
+        )
+        rows.append(("Motifs (MS=3)", "ESU/G-Tries", base_t, ara_t))
+
+        # Cliques MS=4 on MiCo: Mace substitute vs Arabesque.
+        base_t, _ = timed(lambda: count_cliques_by_size(mico, max_size=4))
+        ara_t, _ = timed(
+            lambda: run_computation(mico, CliqueFinding(max_size=4), config)
+        )
+        rows.append(("Cliques (MS=4)", "BK/Mace", base_t, ara_t))
+
+        # FSM S=100 on CiteSeer: GRAMI (patterns only) + VFLib (embeddings).
+        grami_t, grami = timed(lambda: run_grami(citeseer, 100, max_edges=3))
+        vflib_t, _ = timed(lambda: find_frequent_embeddings(citeseer, grami.frequent))
+        ara_t, _ = timed(
+            lambda: run_computation(
+                citeseer, FrequentSubgraphMining(100, max_edges=3), config
+            )
+        )
+        rows.append(("FSM (S=100)", "GRAMI", grami_t, ara_t))
+        rows.append(("FSM (S=100)", "GRAMI+VFLib", grami_t + vflib_t, ara_t))
+        return rows
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = [f"{'application':<16} {'baseline':<12} {'baseline s':>10} {'arabesque s':>11} {'ratio':>6}"]
+    for app, base_name, base_t, ara_t in rows:
+        ratio = ara_t / base_t if base_t > 0 else float("inf")
+        lines.append(
+            f"{app:<16} {base_name:<12} {base_t:>10.2f} {ara_t:>11.2f} {ratio:>6.1f}"
+        )
+    lines += [
+        "",
+        "paper (Table 2): Motifs 50s vs 37s; Cliques 281s vs 385s;",
+        "  FSM: GRAMI 3s vs 5s, GRAMI+VFLib 4.8s vs 5s (embeddings close the gap).",
+        "",
+        "note: our clique baseline is a ~30-ops/clique ordered-extension loop",
+        "  while the engine pays full generic-machinery cost per embedding;",
+        "  in the paper both sides are optimized native code, so the clique",
+        "  ratio here overstates the gap (motifs and FSM are representative).",
+    ]
+    report("table2", "Table 2: single-thread vs centralized baselines", lines)
+
+    # Shape assertions: Arabesque within a small factor of the dedicated
+    # enumerators for motifs (the paper shows ~1x) and FSM; the generic
+    # engine never wins against the specialized clique lister but stays
+    # within a bounded factor.
+    motifs_row = rows[0]
+    assert motifs_row[3] < 10 * motifs_row[2]
+    cliques_row = rows[1]
+    assert cliques_row[3] < 500 * cliques_row[2]
+    grami_only = rows[2]
+    grami_vflib = rows[3]
+    assert grami_vflib[2] >= grami_only[2]
+    fsm_row = rows[3]
+    assert fsm_row[3] < 50 * fsm_row[2]

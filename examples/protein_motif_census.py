@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Motif census for a protein-interaction-style network.
+
+The paper motivates motif mining with bioinformatics: "extracting network
+motifs or significant subgraphs from protein-protein or gene interaction
+networks" (section 1).  The standard workflow (Przulj's graphlet analysis,
+reference [30]) compares the motif frequency distribution of a real network
+against a degree-matched random null model: motifs strongly over- or
+under-represented versus the null are candidate functional building blocks.
+
+This example runs that workflow end to end on a synthetic PPI-like network:
+
+1. build a scale-free "interactome";
+2. census all 3- and 4-vertex motifs with the Arabesque engine;
+3. census a degree-preserving random rewiring (the null model);
+4. report per-motif enrichment z-scores-style ratios.
+"""
+
+import random
+
+from repro import run_computation, ArabesqueConfig
+from repro.apps import MotifCounting, motif_counts_by_size
+from repro.datasets import scale_free_graph
+from repro.graph import LabeledGraph
+
+
+def rewire(graph: LabeledGraph, seed: int = 0, passes: int = 10) -> LabeledGraph:
+    """Degree-preserving double-edge-swap randomization (the null model)."""
+    rng = random.Random(seed)
+    edges = [graph.edge_endpoints(eid) for eid in graph.edges()]
+    edge_set = {tuple(sorted(e)) for e in edges}
+    swaps = passes * len(edges)
+    for _ in range(swaps):
+        (a, b), (c, d) = rng.sample(edges, 2)
+        # Propose swapping partners: (a,d) and (c,b).
+        if len({a, b, c, d}) < 4:
+            continue
+        new1 = tuple(sorted((a, d)))
+        new2 = tuple(sorted((c, b)))
+        if new1 in edge_set or new2 in edge_set:
+            continue
+        edge_set.discard(tuple(sorted((a, b))))
+        edge_set.discard(tuple(sorted((c, d))))
+        edge_set.add(new1)
+        edge_set.add(new2)
+        edges = list(edge_set)
+    return LabeledGraph(
+        [0] * graph.num_vertices, sorted(edge_set), name=f"{graph.name}-rewired"
+    )
+
+
+def shape_name(pattern) -> str:
+    """Human name for the small unlabeled motif shapes."""
+    names = {
+        (3, 2): "path P3",
+        (3, 3): "triangle",
+        (4, 3): "path P4 / claw",
+        (4, 4): "cycle C4 / paw",
+        (4, 5): "diamond",
+        (4, 6): "clique K4",
+    }
+    key = (pattern.num_vertices, pattern.num_edges)
+    # Disambiguate the 3-edge and 4-edge shapes by degree sequence.
+    degrees = [0] * pattern.num_vertices
+    for i, j, _ in pattern.edges:
+        degrees[i] += 1
+        degrees[j] += 1
+    degree_seq = tuple(sorted(degrees))
+    if key == (4, 3):
+        return "claw (star)" if degree_seq == (1, 1, 1, 3) else "path P4"
+    if key == (4, 4):
+        return "cycle C4" if degree_seq == (2, 2, 2, 2) else "paw"
+    return names.get(key, f"{key[0]}v/{key[1]}e")
+
+
+def census(graph: LabeledGraph) -> dict:
+    config = ArabesqueConfig(collect_outputs=False)
+    result = run_computation(graph, MotifCounting(max_size=4), config)
+    merged = {}
+    for size, counts in motif_counts_by_size(result).items():
+        merged.update(counts)
+    return merged
+
+
+def main() -> None:
+    interactome = scale_free_graph(400, 1200, seed=11, name="ppi-like")
+    print(f"interactome: {interactome.num_vertices} proteins, "
+          f"{interactome.num_edges} interactions")
+
+    real = census(interactome)
+    null = census(rewire(interactome, seed=12))
+
+    print(f"\n{'motif':<14} {'observed':>9} {'null':>9} {'enrichment':>10}")
+    for pattern in sorted(real, key=lambda p: (p.num_vertices, p.num_edges)):
+        observed = real[pattern]
+        expected = null.get(pattern, 0)
+        if expected:
+            enrichment = f"{observed / expected:9.2f}x"
+        else:
+            enrichment = "    novel"
+        print(f"{shape_name(pattern):<14} {observed:>9,} {expected:>9,} {enrichment:>10}")
+
+    print(
+        "\nDensely clustered motifs (triangle, diamond, K4) enriched above"
+        "\nthe degree-matched null indicate modular structure — exactly the"
+        "\nsignal graphlet analysis uses to find protein complexes."
+    )
+
+
+if __name__ == "__main__":
+    main()

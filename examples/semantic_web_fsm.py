@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Frequent subgraph mining over an RDF-style typed graph.
+
+The paper lists "mining attributed patterns over semantic data (e.g., in
+Resource Description Framework or RDF format)" among the motivating
+applications (section 1).  An RDF dataset is naturally a labeled graph:
+resources carry a class (the vertex label) and triples carry a predicate
+(the edge label).  Frequent labeled subgraphs are schema-level association
+patterns — "papers written by authors affiliated with an institution", etc.
+
+This example builds a synthetic academic knowledge graph with typed
+vertices (author, paper, venue, institution) and typed edges (writes,
+published-at, affiliated-with, cites), mines the frequent patterns with the
+edge-label-aware FSM application, and prints them as readable triples.
+"""
+
+import random
+
+from repro import ArabesqueConfig, run_computation
+from repro.apps import FrequentSubgraphMining, frequent_patterns
+from repro.graph import GraphBuilder
+
+# Vertex classes.
+AUTHOR, PAPER, VENUE, INSTITUTION = range(4)
+CLASS_NAMES = {AUTHOR: "Author", PAPER: "Paper", VENUE: "Venue",
+               INSTITUTION: "Institution"}
+# Edge predicates.
+WRITES, PUBLISHED_AT, AFFILIATED, CITES = range(4)
+PREDICATE_NAMES = {WRITES: "writes", PUBLISHED_AT: "publishedAt",
+                   AFFILIATED: "affiliatedWith", CITES: "cites"}
+
+
+def build_knowledge_graph(seed: int = 7):
+    """A small academic knowledge graph with realistic shape."""
+    rng = random.Random(seed)
+    builder = GraphBuilder()
+    num_institutions, num_venues = 8, 12
+    num_authors, num_papers = 150, 250
+
+    # GraphBuilder addresses vertices by *key*; keep the keys around.
+    institutions = [("inst", i) for i in range(num_institutions)]
+    venues = [("venue", i) for i in range(num_venues)]
+    authors = [("auth", i) for i in range(num_authors)]
+    papers = [("paper", i) for i in range(num_papers)]
+    for key in institutions:
+        builder.add_vertex(key, INSTITUTION)
+    for key in venues:
+        builder.add_vertex(key, VENUE)
+    for key in authors:
+        builder.add_vertex(key, AUTHOR)
+    for key in papers:
+        builder.add_vertex(key, PAPER)
+
+    for author in authors:
+        builder.add_edge(author, rng.choice(institutions), AFFILIATED)
+    for paper in papers:
+        for author in rng.sample(authors, rng.randint(1, 3)):
+            builder.add_edge(author, paper, WRITES)
+        builder.add_edge(paper, rng.choice(venues), PUBLISHED_AT)
+    for paper in papers:
+        for cited in rng.sample(papers, rng.randint(0, 4)):
+            if cited != paper:
+                builder.add_edge(paper, cited, CITES)
+    return builder.build(name="academic-kg")
+
+
+def render_pattern(pattern) -> list[str]:
+    """Render a labeled pattern as pseudo-RDF triples."""
+    variables = {}
+    for position, label in enumerate(pattern.vertex_labels):
+        variables[position] = f"?{CLASS_NAMES[label].lower()}{position}"
+    lines = [
+        f"  {variables[i]} --{PREDICATE_NAMES[edge_label]}--> {variables[j]}"
+        for i, j, edge_label in pattern.edges
+    ]
+    types = ", ".join(
+        f"{variables[p]}:{CLASS_NAMES[label]}"
+        for p, label in enumerate(pattern.vertex_labels)
+    )
+    return [f"  ({types})"] + lines
+
+
+def main() -> None:
+    graph = build_knowledge_graph()
+    print(f"knowledge graph: {graph.num_vertices} resources, "
+          f"{graph.num_edges} triples")
+
+    threshold = 40
+    config = ArabesqueConfig(collect_outputs=False)
+    result = run_computation(
+        graph, FrequentSubgraphMining(threshold, max_edges=3), config
+    )
+    frequent = frequent_patterns(result, threshold)
+
+    print(f"\nfrequent schema patterns (MNI support >= {threshold}):\n")
+    for pattern, support in sorted(
+        frequent.items(), key=lambda kv: (kv[0].num_edges, -kv[1])
+    ):
+        print(f"support {support}:")
+        for line in render_pattern(pattern):
+            print(line)
+        print()
+
+    print("Each pattern is a frequent typed-join shape; in an RDF store")
+    print("these would become candidate materialized views / query indexes.")
+
+
+if __name__ == "__main__":
+    main()

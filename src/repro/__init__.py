@@ -1,0 +1,54 @@
+"""repro — a pure-Python reproduction of Arabesque (SOSP 2015).
+
+Arabesque is a distributed graph mining system built around the
+"think like an embedding" paradigm: the system enumerates subgraph
+instances (embeddings), the application supplies ``filter``/``process``
+functions, and the runtime handles dedup (embedding canonicality), storage
+(ODAGs), aggregation (two-level pattern aggregation), and load balancing.
+
+Quickstart::
+
+    from repro import ArabesqueConfig, run_computation
+    from repro.apps import MotifCounting, motif_counts
+    from repro.datasets import citeseer_like
+
+    result = run_computation(citeseer_like(), MotifCounting(max_size=3))
+    for pattern, count in motif_counts(result).items():
+        print(pattern, count)
+
+Package map (see DESIGN.md for the full inventory):
+
+* :mod:`repro.graph` — immutable labeled graphs, generators, I/O;
+* :mod:`repro.isomorphism` — canonical labeling (bliss substitute), VF2;
+* :mod:`repro.bsp` — in-process BSP engine with metered communication;
+* :mod:`repro.core` — the filter-process model and execution techniques;
+* :mod:`repro.apps` — FSM, motifs, cliques, maximal cliques;
+* :mod:`repro.baselines` — TLV, TLP, GRAMI/G-Tries/Mace substitutes;
+* :mod:`repro.datasets` — synthetic equivalents of the paper's graphs.
+"""
+
+from .core import (
+    ArabesqueConfig,
+    ArabesqueEngine,
+    Computation,
+    Embedding,
+    Pattern,
+    RunResult,
+    run_computation,
+)
+from .graph import GraphBuilder, LabeledGraph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArabesqueConfig",
+    "ArabesqueEngine",
+    "Computation",
+    "Embedding",
+    "GraphBuilder",
+    "LabeledGraph",
+    "Pattern",
+    "RunResult",
+    "run_computation",
+    "__version__",
+]

@@ -1,0 +1,168 @@
+"""Analysis helpers: graph statistics, run reports, scalability sweeps.
+
+Utilities downstream users (and the bundled benchmarks/examples) need
+around the core engine: quick structural statistics of an input graph,
+human-readable summaries of a :class:`~repro.core.results.RunResult`, and
+the worker-count sweep that produces the paper's speedup curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .bsp.cost_model import CostModel, speedup_curve
+from .core.computation import Computation
+from .core.config import ArabesqueConfig
+from .core.engine import run_computation
+from .core.results import RunResult
+from .graph import LabeledGraph
+
+
+# ----------------------------------------------------------------------
+# Graph statistics
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class GraphProfile:
+    """Structural summary of an input graph."""
+
+    name: str
+    num_vertices: int
+    num_edges: int
+    num_labels: int
+    average_degree: float
+    max_degree: int
+    degree_p99: int
+    triangles: int
+    global_clustering: float
+    connected_components: int
+
+    def lines(self) -> list[str]:
+        return [
+            f"graph:          {self.name}",
+            f"vertices:       {self.num_vertices:,}",
+            f"edges:          {self.num_edges:,}",
+            f"labels:         {self.num_labels}",
+            f"avg degree:     {self.average_degree:.2f}",
+            f"max degree:     {self.max_degree:,} (p99 {self.degree_p99:,})",
+            f"triangles:      {self.triangles:,}",
+            f"clustering:     {self.global_clustering:.4f}",
+            f"components:     {self.connected_components:,}",
+        ]
+
+
+def count_triangles(graph: LabeledGraph) -> int:
+    """Exact triangle count by ordered neighbor intersection, O(sum deg^1.5)."""
+    total = 0
+    for v in graph.vertices():
+        later = [u for u in graph.neighbors(v) if u > v]
+        later_set = frozenset(later)
+        for u in later:
+            total += sum(1 for w in graph.neighbors(u) if w > u and w in later_set)
+    return total
+
+
+def count_wedges(graph: LabeledGraph) -> int:
+    """Paths of length two (open + closed): sum over vertices of C(deg, 2)."""
+    return sum(
+        graph.degree(v) * (graph.degree(v) - 1) // 2 for v in graph.vertices()
+    )
+
+
+def profile_graph(graph: LabeledGraph) -> GraphProfile:
+    """Compute a :class:`GraphProfile`."""
+    degrees = sorted(graph.degree(v) for v in graph.vertices())
+    triangles = count_triangles(graph)
+    wedges = count_wedges(graph)
+    clustering = 3.0 * triangles / wedges if wedges else 0.0
+    p99_index = max(int(0.99 * len(degrees)) - 1, 0) if degrees else 0
+    return GraphProfile(
+        name=graph.name,
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+        num_labels=graph.num_vertex_labels,
+        average_degree=graph.average_degree(),
+        max_degree=degrees[-1] if degrees else 0,
+        degree_p99=degrees[p99_index] if degrees else 0,
+        triangles=triangles,
+        global_clustering=clustering,
+        connected_components=len(graph.connected_components()),
+    )
+
+
+# ----------------------------------------------------------------------
+# Run reports
+# ----------------------------------------------------------------------
+def run_report(result: RunResult, cost_model: CostModel | None = None) -> str:
+    """Multi-line human-readable summary of a finished run."""
+    lines = [
+        f"exploration steps:      {result.num_steps}",
+        f"candidates generated:   {result.total_candidates:,}",
+        f"embeddings processed:   {result.total_processed:,}",
+        f"outputs:                {result.num_outputs:,}",
+        f"quick patterns:         {result.quick_patterns:,}",
+        f"canonical patterns:     {result.canonical_patterns:,}",
+        f"isomorphism runs:       {result.isomorphism_runs:,}",
+        f"peak store bytes:       {result.peak_storage_bytes:,}",
+        f"wall seconds:           {result.wall_seconds:.3f}",
+    ]
+    if result.metrics is not None:
+        lines += [
+            f"workers:                {result.metrics.num_workers}",
+            f"messages:               {result.metrics.total_messages:,}",
+            f"p2p bytes:              {result.metrics.total_bytes:,}",
+            f"broadcast bytes:        {result.metrics.total_broadcast_bytes:,}",
+            f"simulated makespan:     {result.makespan(cost_model):.4f}s",
+        ]
+    header = "per-step: step  expanded  pruned(α)  candidates  canonical  processed  stored"
+    lines.append(header)
+    for stats in result.steps:
+        lines.append(
+            f"          {stats.step:>4} {stats.expanded_embeddings:>9,} "
+            f"{stats.aggregation_pruned:>10,} {stats.candidates_generated:>11,} "
+            f"{stats.canonical_candidates:>10,} {stats.processed_embeddings:>10,} "
+            f"{stats.stored_embeddings:>7,}"
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Scalability sweeps (the Figure 8 machinery, reusable)
+# ----------------------------------------------------------------------
+@dataclass
+class ScalabilitySweep:
+    """Makespans and speedups of one workload across worker counts."""
+
+    makespans: dict[int, float] = field(default_factory=dict)
+    results: dict[int, RunResult] = field(default_factory=dict)
+
+    def speedups(self, baseline_workers: int | None = None) -> dict[int, float]:
+        return speedup_curve(self.makespans, baseline_workers)
+
+    def parallel_efficiency(self) -> dict[int, float]:
+        """Speedup relative to 1 worker divided by worker count."""
+        if 1 not in self.makespans:
+            raise ValueError("sweep must include the 1-worker configuration")
+        curve = speedup_curve(self.makespans, baseline_workers=1)
+        return {workers: curve[workers] / workers for workers in curve}
+
+
+def scalability_sweep(
+    graph: LabeledGraph,
+    computation_factory: Callable[[], Computation],
+    worker_counts: tuple[int, ...] = (1, 5, 10, 15, 20),
+    cost_model: CostModel | None = None,
+) -> ScalabilitySweep:
+    """Run one workload at several simulated worker counts.
+
+    A fresh computation is built per configuration (computations hold
+    per-run caches), and the same cost model prices every run.
+    """
+    model = cost_model or CostModel()
+    sweep = ScalabilitySweep()
+    for workers in worker_counts:
+        config = ArabesqueConfig(num_workers=workers, collect_outputs=False)
+        result = run_computation(graph, computation_factory(), config)
+        sweep.results[workers] = result
+        sweep.makespans[workers] = result.makespan(model)
+    return sweep

@@ -1,0 +1,46 @@
+"""The paper's applications, built on the public Computation API."""
+
+from .cliques import CliqueFinding, cliques_by_size
+from .frequent_cliques import (
+    FrequentClique,
+    FrequentCliqueMining,
+    frequent_clique_patterns,
+)
+from .fsm import FrequentEmbedding, FrequentSubgraphMining, frequent_patterns
+from .inexact import InexactMatching, min_completion_cost, unit_label_cost
+from .matching import GraphMatching, pattern_embeds_in
+from .maximal_cliques import MaximalCliqueFinding, is_maximal_clique
+from .motifs import MotifCounting, motif_counts, motif_counts_by_size
+from .support import Domain
+from .transactional_fsm import (
+    GraphCollection,
+    TidSet,
+    TransactionalFSM,
+    transactional_frequent_patterns,
+)
+
+__all__ = [
+    "CliqueFinding",
+    "Domain",
+    "FrequentClique",
+    "FrequentCliqueMining",
+    "FrequentEmbedding",
+    "FrequentSubgraphMining",
+    "GraphCollection",
+    "GraphMatching",
+    "InexactMatching",
+    "MaximalCliqueFinding",
+    "MotifCounting",
+    "TidSet",
+    "TransactionalFSM",
+    "cliques_by_size",
+    "frequent_clique_patterns",
+    "frequent_patterns",
+    "is_maximal_clique",
+    "min_completion_cost",
+    "motif_counts",
+    "motif_counts_by_size",
+    "pattern_embeds_in",
+    "transactional_frequent_patterns",
+    "unit_label_cost",
+]

@@ -1,0 +1,119 @@
+"""Frequent subgraph mining — Figure 4a of the paper.
+
+The first distributed FSM on a single large graph: edge-based exploration
+where ``process`` maps each embedding's domains to its pattern's reducer,
+``reduce`` merges domains, ``aggregation_filter`` drops embeddings whose
+pattern's minimum image-based support is below the threshold, and
+``aggregation_process`` outputs the embeddings of frequent patterns.
+
+Anti-monotonicity holds because MNI support never grows under extension
+(:mod:`repro.apps.support`), so α-pruned subtrees can never contain a
+frequent pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.computation import Computation
+from ..core.embedding import EDGE_EXPLORATION, Embedding
+from ..core.pattern import Pattern
+from ..core.results import RunResult
+from .support import Domain
+
+
+@dataclass(frozen=True)
+class FrequentEmbedding:
+    """One output row: an embedding of a frequent pattern."""
+
+    pattern: Pattern
+    edge_words: tuple[int, ...]
+    support: int
+
+
+class FrequentSubgraphMining(Computation):
+    """FSM with MNI support on edge-induced embeddings.
+
+    Parameters
+    ----------
+    support_threshold:
+        The paper's θ: patterns with ``support >= support_threshold`` are
+        frequent.
+    max_edges:
+        Optional cap on embedding size in edges (the paper's "MS": e.g.
+        FSM-CiteSeer in Table 3 uses S=220, MS=7).  ``None`` explores until
+        no pattern is frequent.
+    """
+
+    exploration_mode = EDGE_EXPLORATION
+
+    def __init__(self, support_threshold: int, max_edges: int | None = None):
+        super().__init__()
+        if support_threshold < 1:
+            raise ValueError("support_threshold must be >= 1")
+        if max_edges is not None and max_edges < 1:
+            raise ValueError("max_edges must be >= 1 when given")
+        self.support_threshold = support_threshold
+        self.max_edges = max_edges
+
+    # -- φ and π ---------------------------------------------------------
+    def filter(self, embedding: Embedding) -> bool:
+        if self.max_edges is None:
+            return True
+        return embedding.num_edges <= self.max_edges
+
+    def process(self, embedding: Embedding) -> None:
+        self.map(self.pattern(embedding), Domain.from_embedding(embedding))
+
+    # -- aggregation ------------------------------------------------------
+    def reduce(self, key, domains: list[Domain]) -> Domain:
+        return Domain.merge_all(domains)
+
+    def pattern_support(self, embedding: Embedding) -> int | None:
+        """Support of the embedding's pattern from the generation step's
+        aggregates (None before aggregates exist)."""
+        quick = self.pattern(embedding)
+        merged_domain = self.read_aggregate(quick)
+        if merged_domain is None:
+            return None
+        canonical = quick.canonical()
+        return merged_domain.support(canonical.orbits())
+
+    def aggregation_filter(self, embedding: Embedding) -> bool:
+        support = self.pattern_support(embedding)
+        return support is not None and support >= self.support_threshold
+
+    def aggregation_process(self, embedding: Embedding) -> None:
+        support = self.pattern_support(embedding)
+        if support is None:  # pragma: no cover - α guarantees presence
+            return
+        self.output(
+            FrequentEmbedding(
+                pattern=self.pattern(embedding).canonical(),
+                edge_words=embedding.words,
+                support=support,
+            )
+        )
+
+    # -- termination -------------------------------------------------------
+    def termination_filter(self, embedding: Embedding) -> bool:
+        return self.max_edges is not None and embedding.num_edges >= self.max_edges
+
+
+def frequent_patterns(
+    result: RunResult, support_threshold: int
+) -> dict[Pattern, int]:
+    """Post-process a run: canonical pattern -> MNI support, frequent only.
+
+    Works off the run's accumulated pattern aggregates, so it includes the
+    deepest exploration level even when a ``max_edges`` termination filter
+    skipped the α/β pass for it.
+    """
+    frequent: dict[Pattern, int] = {}
+    for pattern, domain in result.final_aggregates.items():
+        if not isinstance(pattern, Pattern) or not isinstance(domain, Domain):
+            continue
+        support = domain.support(pattern.orbits())
+        if support >= support_threshold:
+            frequent[pattern] = support
+    return frequent

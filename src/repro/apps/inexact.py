@@ -1,0 +1,158 @@
+"""Inexact (label-cost) graph matching — the paper's section 2 variant.
+
+"In inexact matching, one can seek inexact or approximate isomorphisms
+(based on notions of edit-distances, label costs, etc.)" — the setting of
+the authors' own approximate-mining work (reference [2], Anchuri et al.,
+which also introduced the representative sets ODAGs are compared to).
+
+This application retrieves embeddings whose *structure* matches the query
+pattern exactly but whose vertex labels may differ, as long as the total
+label-substitution cost stays within a budget.  The filter is anti-monotone
+in the required sense: the minimum achievable cost of completing a partial
+match never decreases as the embedding grows, so once the budget is
+exceeded the subtree is safely pruned.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.computation import Computation
+from ..core.embedding import Embedding, VERTEX_EXPLORATION
+from ..core.pattern import Pattern
+from ..graph import LabeledGraph
+LabelCost = Callable[[int, int], float]
+
+
+def unit_label_cost(expected: int, actual: int) -> float:
+    """0 for a label match, 1 for any substitution."""
+    return 0.0 if expected == actual else 1.0
+
+
+def _pattern_adjacency(pattern: Pattern) -> list[dict[int, int]]:
+    adjacency: list[dict[int, int]] = [dict() for _ in range(pattern.num_vertices)]
+    for i, j, label in pattern.edges:
+        adjacency[i][j] = label
+        adjacency[j][i] = label
+    return adjacency
+
+
+def min_completion_cost(
+    pattern: Pattern,
+    graph: LabeledGraph,
+    members: frozenset[int],
+    budget: float,
+    cost_fn: LabelCost,
+) -> float | None:
+    """Cheapest label cost of matching ``pattern`` onto a SUPERSET of
+    ``members``'s induced structure using only vertices in ``members``
+    when the pattern is the same size, or None if structure cannot match.
+
+    For partial embeddings (fewer vertices than the pattern), returns the
+    cheapest cost over all injective structure-preserving *partial* maps of
+    the members into the pattern — a lower bound on any completion's cost,
+    which is what makes the filter anti-monotone.
+    """
+    member_list = sorted(members)
+    k = len(member_list)
+    if k > pattern.num_vertices:
+        return None
+    adjacency = _pattern_adjacency(pattern)
+    best: float | None = None
+
+    # Search assignments of members to pattern positions (small sizes).
+    def assign(index: int, used: frozenset[int], mapping: dict[int, int], cost: float):
+        nonlocal best
+        if best is not None and cost >= best:
+            return
+        if cost > budget:
+            return
+        if index == k:
+            if best is None or cost < best:
+                best = cost
+            return
+        v = member_list[index]
+        for position in range(pattern.num_vertices):
+            if position in used:
+                continue
+            # Structure check: graph edges among mapped members must map to
+            # pattern edges and vice versa (induced semantics).
+            ok = True
+            for mapped_v, mapped_pos in mapping.items():
+                has_graph_edge = graph.adjacent(v, mapped_v)
+                has_pattern_edge = position in adjacency[mapped_pos]
+                if has_graph_edge != has_pattern_edge:
+                    ok = False
+                    break
+            if not ok:
+                continue
+            step = cost_fn(pattern.vertex_labels[position], graph.vertex_label(v))
+            assign(
+                index + 1,
+                used | {position},
+                {**mapping, v: position},
+                cost + step,
+            )
+
+    assign(0, frozenset(), {}, 0.0)
+    return best
+
+
+class InexactMatching(Computation):
+    """Find embeddings structurally equal to ``query`` within a label budget.
+
+    Parameters
+    ----------
+    query:
+        The pattern to match (vertex-induced structure must match exactly).
+    budget:
+        Maximum total label-substitution cost.
+    cost_fn:
+        Per-vertex cost of matching an expected label to an actual one;
+        defaults to the unit substitution cost.
+    """
+
+    exploration_mode = VERTEX_EXPLORATION
+
+    def __init__(
+        self,
+        query: Pattern,
+        budget: float,
+        cost_fn: LabelCost = unit_label_cost,
+    ):
+        super().__init__()
+        if query.num_vertices == 0:
+            raise ValueError("query pattern must not be empty")
+        if budget < 0:
+            raise ValueError("budget must be >= 0")
+        self.query = query
+        self.budget = budget
+        self.cost_fn = cost_fn
+
+    def filter(self, embedding: Embedding) -> bool:
+        if embedding.num_vertices > self.query.num_vertices:
+            return False
+        cost = min_completion_cost(
+            self.query,
+            embedding.graph,
+            embedding.vertex_set(),
+            self.budget,
+            self.cost_fn,
+        )
+        return cost is not None and cost <= self.budget
+
+    def process(self, embedding: Embedding) -> None:
+        if embedding.num_vertices != self.query.num_vertices:
+            return
+        cost = min_completion_cost(
+            self.query,
+            embedding.graph,
+            embedding.vertex_set(),
+            self.budget,
+            self.cost_fn,
+        )
+        if cost is not None and cost <= self.budget:
+            self.output((tuple(sorted(embedding.vertices)), cost))
+
+    def termination_filter(self, embedding: Embedding) -> bool:
+        return embedding.num_vertices >= self.query.num_vertices

@@ -1,0 +1,33 @@
+"""BSP substrate: in-process Giraph substitute with metered communication."""
+
+from .aggregator import (
+    Aggregator,
+    dict_merge_aggregator,
+    list_aggregator,
+    max_aggregator,
+    min_aggregator,
+    sum_aggregator,
+)
+from .cost_model import CostModel, speedup_curve
+from .engine import BspContext, BspEngine, BspError, Worker
+from .messages import Message, estimate_size
+from .metrics import RunMetrics, SuperstepMetrics
+
+__all__ = [
+    "Aggregator",
+    "BspContext",
+    "BspEngine",
+    "BspError",
+    "CostModel",
+    "Message",
+    "RunMetrics",
+    "SuperstepMetrics",
+    "Worker",
+    "dict_merge_aggregator",
+    "estimate_size",
+    "list_aggregator",
+    "max_aggregator",
+    "min_aggregator",
+    "speedup_curve",
+    "sum_aggregator",
+]

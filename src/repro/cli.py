@@ -1,0 +1,167 @@
+"""Command-line interface: run the bundled mining applications on a graph.
+
+Usage::
+
+    python -m repro motifs  GRAPH --max-size 3
+    python -m repro cliques GRAPH --max-size 4 [--maximal]
+    python -m repro fsm     GRAPH --support 100 [--max-edges 3]
+    python -m repro stats   GRAPH
+
+``GRAPH`` is an edge-list file (see :func:`repro.graph.read_edge_list`) or
+one of the built-in synthetic dataset names (``citeseer``, ``mico``,
+``patents``, ``youtube``, ``sn``, ``instagram``); built-ins accept
+``--scale`` to resize.  Results are printed as plain text; ``--workers``
+simulates a distributed run and reports its metrics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .apps import (
+    CliqueFinding,
+    FrequentSubgraphMining,
+    MaximalCliqueFinding,
+    MotifCounting,
+    cliques_by_size,
+    frequent_patterns,
+    motif_counts,
+)
+from .core import ArabesqueConfig, run_computation
+from .datasets import DATASETS, dataset_statistics
+from .graph import LabeledGraph, read_edge_list, strip_labels
+
+
+def load_graph(spec: str, scale: float | None) -> LabeledGraph:
+    """A dataset name or an edge-list path -> LabeledGraph."""
+    if spec in DATASETS:
+        factory = DATASETS[spec]
+        return factory(scale=scale) if scale is not None else factory()
+    path = Path(spec)
+    if not path.exists():
+        raise SystemExit(
+            f"error: {spec!r} is neither a dataset name "
+            f"({', '.join(sorted(DATASETS))}) nor a readable file"
+        )
+    return read_edge_list(path, name=path.stem)
+
+
+def _print_run_summary(result) -> None:
+    print(f"# steps={result.num_steps} processed={result.total_processed:,} "
+          f"makespan={result.makespan():.4f}s "
+          f"messages={result.metrics.total_messages:,}")
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    graph = load_graph(args.graph, args.scale)
+    stats = dataset_statistics(graph)
+    print(f"{'dataset':<16} {'V':>9} {'E':>11} {'labels':>6} {'avg deg':>8}")
+    print(stats.row())
+    return 0
+
+
+def cmd_motifs(args: argparse.Namespace) -> int:
+    graph = load_graph(args.graph, args.scale)
+    if not args.labeled:
+        graph = strip_labels(graph)
+    config = ArabesqueConfig(num_workers=args.workers, collect_outputs=False)
+    result = run_computation(graph, MotifCounting(args.max_size), config)
+    for pattern, count in sorted(
+        motif_counts(result).items(),
+        key=lambda kv: (kv[0].num_vertices, -kv[1]),
+    ):
+        edges = ",".join(f"{i}-{j}" for i, j, _ in pattern.edges)
+        print(f"motif v={pattern.num_vertices} edges=[{edges}] count={count:,}")
+    _print_run_summary(result)
+    return 0
+
+
+def cmd_cliques(args: argparse.Namespace) -> int:
+    graph = load_graph(args.graph, args.scale)
+    if args.maximal:
+        app = MaximalCliqueFinding(max_size=args.max_size)
+    else:
+        app = CliqueFinding(max_size=args.max_size, min_size=args.min_size)
+    config = ArabesqueConfig(
+        num_workers=args.workers, output_limit=args.limit
+    )
+    result = run_computation(graph, app, config)
+    for size, cliques in sorted(cliques_by_size(result).items()):
+        print(f"size {size}: {len(cliques):,} cliques")
+        if args.verbose:
+            for clique in cliques[:10]:
+                print(f"  {clique}")
+    _print_run_summary(result)
+    return 0
+
+
+def cmd_fsm(args: argparse.Namespace) -> int:
+    graph = load_graph(args.graph, args.scale)
+    config = ArabesqueConfig(num_workers=args.workers, collect_outputs=False)
+    app = FrequentSubgraphMining(args.support, max_edges=args.max_edges)
+    result = run_computation(graph, app, config)
+    for pattern, support in sorted(
+        frequent_patterns(result, args.support).items(),
+        key=lambda kv: (kv[0].num_edges, -kv[1]),
+    ):
+        labels = "/".join(map(str, pattern.vertex_labels))
+        edges = ",".join(f"{i}-{j}" for i, j, _ in pattern.edges)
+        print(f"pattern labels=[{labels}] edges=[{edges}] support={support}")
+    _print_run_summary(result)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Arabesque reproduction: distributed graph mining",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("graph", help="edge-list file or dataset name")
+        sub.add_argument("--scale", type=float, default=None,
+                         help="scale factor for built-in datasets")
+        sub.add_argument("--workers", type=int, default=1,
+                         help="simulated workers (default 1)")
+
+    stats = subparsers.add_parser("stats", help="print dataset statistics")
+    common(stats)
+    stats.set_defaults(handler=cmd_stats)
+
+    motifs = subparsers.add_parser("motifs", help="count motifs")
+    common(motifs)
+    motifs.add_argument("--max-size", type=int, default=3)
+    motifs.add_argument("--labeled", action="store_true",
+                        help="keep vertex labels (labeled motifs)")
+    motifs.set_defaults(handler=cmd_motifs)
+
+    cliques = subparsers.add_parser("cliques", help="enumerate cliques")
+    common(cliques)
+    cliques.add_argument("--max-size", type=int, default=4)
+    cliques.add_argument("--min-size", type=int, default=3)
+    cliques.add_argument("--maximal", action="store_true",
+                         help="report only maximal cliques")
+    cliques.add_argument("--limit", type=int, default=100_000,
+                         help="cap on collected cliques")
+    cliques.add_argument("--verbose", action="store_true")
+    cliques.set_defaults(handler=cmd_cliques)
+
+    fsm = subparsers.add_parser("fsm", help="frequent subgraph mining")
+    common(fsm)
+    fsm.add_argument("--support", type=int, required=True,
+                     help="MNI support threshold")
+    fsm.add_argument("--max-edges", type=int, default=None)
+    fsm.set_defaults(handler=cmd_fsm)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,79 @@
+"""Arabesque core: the filter-process model and its execution techniques."""
+
+from .aggregation import AggregationChannel, LocalAggregation, merge_partials
+from .canonical import (
+    canonicalize_edge_set,
+    canonicalize_vertex_set,
+    is_canonical_edge_extension,
+    is_canonical_edge_words,
+    is_canonical_vertex_extension,
+    is_canonical_vertex_words,
+)
+from .computation import Computation, ComputationContext
+from .config import ArabesqueConfig
+from .embedding import (
+    EDGE_EXPLORATION,
+    VERTEX_EXPLORATION,
+    EdgeInducedEmbedding,
+    Embedding,
+    VertexInducedEmbedding,
+    make_embedding,
+)
+from .engine import ArabesqueEngine, ExplorationError, run_computation
+from .extension import edge_extensions, extensions, initial_candidates, vertex_extensions
+from .odag import Odag
+from .partition import PartitionReport, block_round_robin_assignment, measure_partition
+from .pattern import Pattern, PatternCanonicalizer, canonicalize_pattern, pattern_orbits
+from .results import RunResult, StepStats
+from .storage import (
+    ADAPTIVE_STORAGE,
+    LIST_STORAGE,
+    ODAG_STORAGE,
+    EmbeddingStore,
+    ListStore,
+    OdagStore,
+)
+
+__all__ = [
+    "ADAPTIVE_STORAGE",
+    "AggregationChannel",
+    "ArabesqueConfig",
+    "ArabesqueEngine",
+    "Computation",
+    "ComputationContext",
+    "EDGE_EXPLORATION",
+    "EdgeInducedEmbedding",
+    "Embedding",
+    "EmbeddingStore",
+    "ExplorationError",
+    "LIST_STORAGE",
+    "ListStore",
+    "LocalAggregation",
+    "ODAG_STORAGE",
+    "Odag",
+    "OdagStore",
+    "PartitionReport",
+    "Pattern",
+    "PatternCanonicalizer",
+    "RunResult",
+    "StepStats",
+    "VERTEX_EXPLORATION",
+    "VertexInducedEmbedding",
+    "block_round_robin_assignment",
+    "canonicalize_edge_set",
+    "canonicalize_pattern",
+    "canonicalize_vertex_set",
+    "edge_extensions",
+    "extensions",
+    "initial_candidates",
+    "is_canonical_edge_extension",
+    "is_canonical_edge_words",
+    "is_canonical_vertex_extension",
+    "is_canonical_vertex_words",
+    "make_embedding",
+    "measure_partition",
+    "merge_partials",
+    "pattern_orbits",
+    "run_computation",
+    "vertex_extensions",
+]

@@ -1,0 +1,151 @@
+"""The Arabesque user API (paper, Figure 3).
+
+Applications subclass :class:`Computation` and override the two mandatory
+functions — ``filter`` (the paper's φ) and ``process`` (π) — plus any of the
+optional ones: ``aggregation_filter`` (α), ``aggregation_process`` (β),
+``reduce``, ``reduce_output``, and ``termination_filter``.  The framework
+functions ``output``, ``map``, ``read_aggregate``, and ``map_output`` are
+provided and may be called from inside the user functions.
+
+Required semantic properties (section 3.1), which the engine relies on and
+the test suite checks for the bundled applications:
+
+* **automorphism invariance** — every user function returns the same result
+  for automorphic embeddings;
+* **anti-monotonicity** of ``filter`` and ``aggregation_filter`` — once an
+  embedding is rejected, all of its extensions would be rejected too.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+from ..graph import LabeledGraph
+from .embedding import Embedding, VERTEX_EXPLORATION
+from .pattern import Pattern
+
+
+class ComputationContext:
+    """Engine-side callbacks the framework functions delegate to.
+
+    Bound to the computation once per worker turn; user code never
+    constructs one.
+    """
+
+    def output(self, value: Any) -> None:
+        raise NotImplementedError
+
+    def map(self, key: Hashable, value: Any) -> None:
+        raise NotImplementedError
+
+    def map_output(self, key: Hashable, value: Any) -> None:
+        raise NotImplementedError
+
+    def read_aggregate(self, key: Hashable) -> Any:
+        raise NotImplementedError
+
+
+class Computation:
+    """Base class for Arabesque applications.
+
+    Class attribute ``exploration_mode`` selects vertex-based or edge-based
+    exploration ("the application can decide between edge-based or
+    vertex-based exploration during initialization", section 3.1).
+    """
+
+    #: ``VERTEX_EXPLORATION`` or ``EDGE_EXPLORATION``.
+    exploration_mode: str = VERTEX_EXPLORATION
+
+    def __init__(self) -> None:
+        self.graph: LabeledGraph | None = None
+        self._context: ComputationContext | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def init(self, graph: LabeledGraph, config: Any) -> None:
+        """Called once before exploration starts; override for setup."""
+        self.graph = graph
+
+    # ------------------------------------------------------------------
+    # Mandatory user functions (φ and π)
+    # ------------------------------------------------------------------
+    def filter(self, embedding: Embedding) -> bool:
+        """φ: should this candidate embedding be processed?  Must be
+        anti-monotone."""
+        return True
+
+    def process(self, embedding: Embedding) -> None:
+        """π: examine an accepted embedding; may call ``output``/``map``."""
+
+    # ------------------------------------------------------------------
+    # Optional user functions (α, β, reducers, termination)
+    # ------------------------------------------------------------------
+    def aggregation_filter(self, embedding: Embedding) -> bool:
+        """α: re-filter an embedding one step after its generation, when
+        the aggregates of its generation step are readable.  Must be
+        anti-monotone."""
+        return True
+
+    def aggregation_process(self, embedding: Embedding) -> None:
+        """β: produce output for an embedding that survived α."""
+
+    def reduce(self, key: Hashable, values: list) -> Any:
+        """Fold the values mapped to ``key`` this step (must be associative
+        on reduced values; see :mod:`repro.core.aggregation`)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} calls map() but does not define reduce()"
+        )
+
+    def reduce_output(self, key: Hashable, values: list) -> Any:
+        """Fold output-aggregation values (associative, run-scoped)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} calls map_output() but does not define "
+            "reduce_output()"
+        )
+
+    def termination_filter(self, embedding: Embedding) -> bool:
+        """Return True to stop extending ``embedding`` after processing it —
+        an optimization that skips the final all-filtered exploration step
+        (section 4.1)."""
+        return False
+
+    # ------------------------------------------------------------------
+    # Framework-provided functions (engine-bound)
+    # ------------------------------------------------------------------
+    def output(self, value: Any) -> None:
+        """Emit a result to the run's output collection."""
+        self._require_context().output(value)
+
+    def map(self, key: Hashable, value: Any) -> None:
+        """Send ``value`` to the reducer for ``key`` (pattern keys get
+        two-level aggregation automatically)."""
+        self._require_context().map(key, value)
+
+    def map_output(self, key: Hashable, value: Any) -> None:
+        """Send ``value`` to output aggregation (reduced at end of run)."""
+        self._require_context().map_output(key, value)
+
+    def read_aggregate(self, key: Hashable) -> Any:
+        """Read the value aggregated for ``key`` in the previous step."""
+        return self._require_context().read_aggregate(key)
+
+    # ------------------------------------------------------------------
+    # Convenience helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def pattern(embedding: Embedding) -> Pattern:
+        """The quick pattern of an embedding (the paper's ``pattern(e)``)."""
+        return embedding.pattern()
+
+    def _require_context(self) -> ComputationContext:
+        if self._context is None:
+            raise RuntimeError(
+                "framework functions are only available while the engine is "
+                "running this computation"
+            )
+        return self._context
+
+    def bind_context(self, context: ComputationContext | None) -> None:
+        """Engine hook: attach/detach the per-worker context."""
+        self._context = context

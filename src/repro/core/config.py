@@ -1,0 +1,53 @@
+"""Engine configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..bsp.cost_model import CostModel
+from .storage import ADAPTIVE_STORAGE, LIST_STORAGE, ODAG_STORAGE
+
+
+@dataclass
+class ArabesqueConfig:
+    """Tunable knobs of one exploration run.
+
+    The defaults match the paper's system: ODAG storage, two-level pattern
+    aggregation, incremental canonicality checking.  The alternative values
+    exist for the ablation experiments (Figures 10 and 11) and for the
+    simulated-scalability sweeps (``num_workers``).
+    """
+
+    #: Logical workers the exploration is partitioned over.  Workers run
+    #: sequentially in-process; distribution is simulated (DESIGN.md,
+    #: substitution 1).
+    num_workers: int = 1
+    #: ``"odag"`` (paper default), ``"list"`` (Figure 10 ablation), or
+    #: ``"adaptive"`` — ship whichever format is smaller per step
+    #: (section 6.3's sparse-graph fallback, used by the paper's
+    #: Instagram runs).
+    storage: str = ODAG_STORAGE
+    #: Two-level pattern aggregation (section 5.4); False canonicalizes
+    #: every mapped pattern individually (Figure 11 ablation).
+    two_level_aggregation: bool = True
+    #: Incremental canonicality checks (Algorithm 2); False re-checks the
+    #: whole word sequence per candidate (ablation bench).
+    incremental_canonicality: bool = True
+    #: Safety bound on exploration steps; exceeded = misbehaving filter.
+    max_exploration_steps: int = 100
+    #: Keep outputs in memory.  Large runs can set a cap (counts stay exact).
+    collect_outputs: bool = True
+    output_limit: int | None = None
+    #: Record per-phase wall-clock (Figure 12); off by default because the
+    #: fine-grained timers roughly double candidate cost.
+    profile_phases: bool = False
+    #: Simulated-cluster constants used when reporting makespans.
+    cost_model: CostModel = field(default_factory=CostModel)
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if self.storage not in (ODAG_STORAGE, LIST_STORAGE, ADAPTIVE_STORAGE):
+            raise ValueError(f"unknown storage mode {self.storage!r}")
+        if self.max_exploration_steps < 1:
+            raise ValueError("max_exploration_steps must be >= 1")

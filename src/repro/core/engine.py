@@ -1,0 +1,443 @@
+"""The Arabesque exploration engine — Algorithm 1, distributed and metered.
+
+Each *exploration step* performs, per logical worker:
+
+1. **read (R)** — extract this worker's rank-range share of the previous
+   step's global store, re-applying the canonicality check and filter φ to
+   discard spurious ODAG paths (section 5.2);
+2. **aggregation filter/process (α/β)** — now that the generation step's
+   aggregates are readable;
+3. **generate (G)** — one-word extensions of each surviving embedding;
+4. **canonicality (C)** — Algorithm 2 on every candidate, the
+   coordination-free dedup of section 5.1;
+5. **filter/process (φ/π)** — the user functions; π may ``map``/``output``;
+6. **write (W)** — survivors (minus termination-filtered ones) go to the
+   worker-local store under their canonical pattern.
+
+After all workers finish, the engine simulates the communication rounds of
+the real system and meters them (DESIGN.md, substitution 1): the
+aggregation shuffle (one message per reduced key), the per-array-entry ODAG
+merge shuffle, and the broadcast of the merged global store.  The run
+terminates when a step stores nothing (set F empty).
+
+Workers execute sequentially and deterministically; changing
+``num_workers`` changes the metered distribution (and thus the simulated
+makespan) but never the explored set or the outputs — a property the test
+suite checks explicitly.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Hashable
+
+from ..bsp.messages import estimate_size
+from ..bsp.metrics import RunMetrics, SuperstepMetrics
+from ..graph import LabeledGraph
+from .aggregation import AggregationChannel, LocalAggregation, merge_partials
+from .canonical import extension_checker, full_checker
+from .computation import Computation, ComputationContext
+from .config import ArabesqueConfig
+from .embedding import make_embedding
+from .extension import extensions, initial_candidates
+from .pattern import Pattern, PatternCanonicalizer
+from .results import RunResult, StepStats
+from .storage import (
+    ADAPTIVE_STORAGE,
+    LIST_STORAGE,
+    ODAG_STORAGE,
+    ListStore,
+    OdagStore,
+)
+
+AGGREGATE_CHANNEL = "aggregate"
+OUTPUT_CHANNEL = "output"
+
+
+class ExplorationError(RuntimeError):
+    """Raised when exploration exceeds the configured step bound."""
+
+
+class _TurnContext(ComputationContext):
+    """Framework functions bound while one worker processes one step."""
+
+    def __init__(
+        self,
+        result: RunResult,
+        config: ArabesqueConfig,
+        local_agg: LocalAggregation,
+        local_out: LocalAggregation,
+        agg_channel: AggregationChannel,
+        canonicalizer: PatternCanonicalizer,
+    ) -> None:
+        self._result = result
+        self._config = config
+        self._local_agg = local_agg
+        self._local_out = local_out
+        self._agg_channel = agg_channel
+        self._canonicalizer = canonicalizer
+
+    def output(self, value: Any) -> None:
+        self._result.num_outputs += 1
+        if self._config.collect_outputs:
+            limit = self._config.output_limit
+            if limit is None or len(self._result.outputs) < limit:
+                self._result.outputs.append(value)
+
+    def map(self, key: Hashable, value: Any) -> None:
+        self._local_agg.map(key, value)
+
+    def map_output(self, key: Hashable, value: Any) -> None:
+        self._local_out.map(key, value)
+
+    def read_aggregate(self, key: Hashable) -> Any:
+        if isinstance(key, Pattern):
+            key = self._canonicalizer.canonicalize(key)[0]
+        return self._agg_channel.read(key)
+
+
+class ArabesqueEngine:
+    """Runs one :class:`~repro.core.computation.Computation` on one graph."""
+
+    def __init__(
+        self,
+        graph: LabeledGraph,
+        computation: Computation,
+        config: ArabesqueConfig | None = None,
+    ) -> None:
+        self.graph = graph
+        self.computation = computation
+        self.config = config or ArabesqueConfig()
+        self._mode = computation.exploration_mode
+        if self.config.incremental_canonicality:
+            self._check_extension = extension_checker(self._mode)
+        else:
+            full = full_checker(self._mode)
+
+            def from_scratch(graph, parent_words, word):
+                return full(graph, parent_words + (word,))
+
+            self._check_extension = from_scratch
+
+    # ------------------------------------------------------------------
+    def run(self) -> RunResult:
+        """Execute exploration steps until set F is empty; return results."""
+        config = self.config
+        computation = self.computation
+        graph = self.graph
+        num_workers = config.num_workers
+
+        canonicalizer = PatternCanonicalizer(config.two_level_aggregation)
+        agg_channel = AggregationChannel(AGGREGATE_CHANNEL, computation.reduce)
+        out_channel = AggregationChannel(
+            OUTPUT_CHANNEL, computation.reduce_output, persistent=True
+        )
+        computation.init(graph, config)
+
+        result = RunResult()
+        metrics = RunMetrics(num_workers=num_workers)
+        result.metrics = metrics
+        started = time.perf_counter()
+
+        global_store = None
+        for step in range(config.max_exploration_steps):
+            stats = StepStats(step=step)
+            step_metrics = metrics.new_superstep()
+            step_started = time.perf_counter()
+
+            local_stores = []
+            agg_partials: list[dict[Hashable, Any]] = []
+            out_partials: list[dict[Hashable, Any]] = []
+            for worker_id in range(num_workers):
+                store = ListStore() if config.storage == LIST_STORAGE else OdagStore()
+                local_agg = LocalAggregation(agg_channel, canonicalizer)
+                local_out = LocalAggregation(out_channel, canonicalizer)
+                context = _TurnContext(
+                    result, config, local_agg, local_out, agg_channel, canonicalizer
+                )
+                computation.bind_context(context)
+                try:
+                    if step == 0:
+                        self._initial_pass(
+                            worker_id, num_workers, store, canonicalizer,
+                            stats, step_metrics,
+                        )
+                    else:
+                        self._expansion_pass(
+                            worker_id, num_workers, global_store, store,
+                            canonicalizer, stats, step_metrics,
+                        )
+                finally:
+                    computation.bind_context(None)
+                local_stores.append(store)
+                agg_partials.append(local_agg.merged_partials())
+                out_partials.append(local_out.merged_partials())
+
+            self._meter_aggregation(agg_partials, step_metrics)
+            self._meter_aggregation(out_partials, step_metrics)
+            merged_agg = merge_partials(agg_channel, agg_partials)
+            agg_channel.step_barrier(merged_agg)
+            if merged_agg:
+                result.final_aggregates.update(merged_agg)
+            out_channel.step_barrier(merge_partials(out_channel, out_partials))
+
+            global_store = self._merge_stores(
+                local_stores, step_metrics, stats, embedding_size=step + 1
+            )
+            stats.stored_embeddings = global_store.num_embeddings
+            stats.storage_bytes = global_store.wire_size()
+            stats.list_bytes = self._list_equivalent_bytes(global_store, step + 1)
+            stats.num_patterns = len(global_store.patterns())
+            result.peak_storage_bytes = max(
+                result.peak_storage_bytes, stats.storage_bytes
+            )
+            step_metrics.wall_seconds = time.perf_counter() - step_started
+            result.steps.append(stats)
+            if global_store.is_empty():
+                break
+        else:
+            raise ExplorationError(
+                f"exploration did not terminate within "
+                f"{config.max_exploration_steps} steps — "
+                "check the filter's anti-monotonicity"
+            )
+
+        result.wall_seconds = time.perf_counter() - started
+        result.output_aggregates = out_channel.finalize()
+        result.pattern_requests = canonicalizer.requests
+        result.quick_patterns = canonicalizer.quick_patterns_seen
+        result.canonical_patterns = canonicalizer.canonical_patterns_seen()
+        result.isomorphism_runs = canonicalizer.isomorphism_runs
+        return result
+
+    # ------------------------------------------------------------------
+    # Worker passes
+    # ------------------------------------------------------------------
+    def _initial_pass(
+        self,
+        worker_id: int,
+        num_workers: int,
+        store,
+        canonicalizer: PatternCanonicalizer,
+        stats: StepStats,
+        step_metrics: SuperstepMetrics,
+    ) -> None:
+        """Step 0: expand the "undefined" embedding — all vertices/edges."""
+        graph = self.graph
+        computation = self.computation
+        profile = self.config.profile_phases
+        universe = initial_candidates(graph, self._mode)
+        total = len(universe)
+        start = total * worker_id // num_workers
+        end = total * (worker_id + 1) // num_workers
+        work = 0
+        for word in range(start, end):
+            stats.candidates_generated += 1
+            stats.canonical_candidates += 1  # single words are canonical
+            work += 1
+            embedding = make_embedding(graph, self._mode, (word,))
+            if not computation.filter(embedding):
+                continue
+            stats.processed_embeddings += 1
+            if profile:
+                t0 = time.perf_counter()
+                computation.process(embedding)
+                step_metrics.add_phase_time("P", time.perf_counter() - t0)
+            else:
+                computation.process(embedding)
+            if computation.termination_filter(embedding):
+                continue
+            if profile:
+                t0 = time.perf_counter()
+            canonical_pattern, _ = canonicalizer.canonicalize(embedding.pattern())
+            store.add(canonical_pattern, embedding.words)
+            if profile:
+                step_metrics.add_phase_time("W", time.perf_counter() - t0)
+        step_metrics.add_work(worker_id, work)
+
+    def _expansion_pass(
+        self,
+        worker_id: int,
+        num_workers: int,
+        global_store,
+        store,
+        canonicalizer: PatternCanonicalizer,
+        stats: StepStats,
+        step_metrics: SuperstepMetrics,
+    ) -> None:
+        """Steps >= 1: read a share of set I, apply α/β, expand, φ/π, write."""
+        graph = self.graph
+        computation = self.computation
+        mode = self._mode
+        check_extension = self._check_extension
+        profile = self.config.profile_phases
+        verify_pattern = self.config.storage != LIST_STORAGE
+        work = 0
+
+        def prefix_ok(words: tuple[int, ...]) -> bool:
+            """Spurious-path filter for ODAG extraction: the incremental
+            canonicality check plus φ on the prefix (both anti-monotone,
+            so failing prefixes prune whole subtrees — section 5.2)."""
+            if not check_extension(graph, words[:-1], words[-1]):
+                return False
+            return computation.filter(make_embedding(graph, mode, words))
+
+        iterator = global_store.extract_partition(worker_id, num_workers, prefix_ok)
+        while True:
+            if profile:
+                t0 = time.perf_counter()
+                item = next(iterator, None)
+                step_metrics.add_phase_time("R", time.perf_counter() - t0)
+            else:
+                item = next(iterator, None)
+            if item is None:
+                break
+            store_pattern, words = item
+            work += 1
+            embedding = make_embedding(graph, mode, words)
+            if verify_pattern:
+                # A path through pattern B's ODAG can spell out a perfectly
+                # valid canonical embedding of pattern A (it passes the
+                # canonicality check and φ) — but the real copy lives in
+                # A's ODAG, so extracting it here would duplicate it.  The
+                # extracted embedding is genuine for THIS ODAG only if its
+                # canonical pattern matches the ODAG's key.
+                extracted_pattern, _ = canonicalizer.canonicalize(embedding.pattern())
+                if extracted_pattern != store_pattern:
+                    stats.spurious_discarded += 1
+                    continue
+            stats.expanded_embeddings += 1
+            if not computation.aggregation_filter(embedding):
+                stats.aggregation_pruned += 1
+                continue
+            computation.aggregation_process(embedding)
+
+            if profile:
+                t0 = time.perf_counter()
+                candidate_words = extensions(graph, mode, words)
+                step_metrics.add_phase_time("G", time.perf_counter() - t0)
+            else:
+                candidate_words = extensions(graph, mode, words)
+
+            for word in candidate_words:
+                stats.candidates_generated += 1
+                work += 1
+                if profile:
+                    t0 = time.perf_counter()
+                    canonical = check_extension(graph, words, word)
+                    step_metrics.add_phase_time("C", time.perf_counter() - t0)
+                else:
+                    canonical = check_extension(graph, words, word)
+                if not canonical:
+                    continue
+                stats.canonical_candidates += 1
+                child = embedding.extend(word)
+                if not computation.filter(child):
+                    continue
+                stats.processed_embeddings += 1
+                if profile:
+                    t0 = time.perf_counter()
+                    computation.process(child)
+                    step_metrics.add_phase_time("P", time.perf_counter() - t0)
+                else:
+                    computation.process(child)
+                if computation.termination_filter(child):
+                    continue
+                if profile:
+                    t0 = time.perf_counter()
+                    canonical_pattern, _ = canonicalizer.canonicalize(child.pattern())
+                    step_metrics.add_phase_time("P", time.perf_counter() - t0)
+                    t0 = time.perf_counter()
+                    store.add(canonical_pattern, child.words)
+                    step_metrics.add_phase_time("W", time.perf_counter() - t0)
+                else:
+                    canonical_pattern, _ = canonicalizer.canonicalize(child.pattern())
+                    store.add(canonical_pattern, child.words)
+        step_metrics.add_work(worker_id, work)
+
+    # ------------------------------------------------------------------
+    # Simulated communication rounds (metered)
+    # ------------------------------------------------------------------
+    def _meter_aggregation(
+        self,
+        per_worker_partials: list[dict[Hashable, Any]],
+        step_metrics: SuperstepMetrics,
+    ) -> None:
+        """One message per (worker, reduced key): the aggregation shuffle."""
+        for partials in per_worker_partials:
+            for key, value in partials.items():
+                step_metrics.messages_sent += 1
+                step_metrics.bytes_sent += 8 + estimate_size(key) + estimate_size(value)
+
+    def _merge_stores(
+        self,
+        local_stores,
+        step_metrics: SuperstepMetrics,
+        stats: StepStats,
+        embedding_size: int,
+    ):
+        """Merge worker-local stores into the global one, metering traffic.
+
+        ODAG mode reproduces the paper's two rounds: a map-reduce shuffle of
+        individual array entries to owner workers, then a broadcast of every
+        merged per-pattern ODAG to all workers (section 5.2).  List mode
+        ships each embedding once to the worker that will expand it.
+        Adaptive mode builds ODAGs but ships whichever format is smaller
+        this step — the paper's sparse-graph fallback (section 6.3); the
+        in-process representation stays an ODAG either way.
+        """
+        if self.config.storage == LIST_STORAGE:
+            merged = ListStore()
+            for store in local_stores:
+                merged.merge(store)
+            merged.sort()
+            step_metrics.messages_sent += merged.num_embeddings
+            step_metrics.bytes_sent += merged.wire_size()
+            stats.shipped_format = LIST_STORAGE
+            return merged
+
+        merged = OdagStore()
+        shuffle_messages = 0
+        shuffle_bytes = 0
+        for store in local_stores:
+            for pattern in store.patterns():
+                odag = store.odag_for(pattern)
+                for level, word, successors in odag.entries():
+                    shuffle_messages += 1
+                    shuffle_bytes += 20 + 4 * len(successors)
+            merged.merge(store)
+        odag_bytes = merged.wire_size()
+        list_bytes = self._list_equivalent_bytes(merged, embedding_size)
+        # Adaptive: compare the *total* shipping cost of the two formats —
+        # ODAGs pay the per-entry merge shuffle plus the broadcast; lists
+        # ship each embedding once to its expander.
+        ship_as_list = (
+            self.config.storage == ADAPTIVE_STORAGE
+            and list_bytes < shuffle_bytes + odag_bytes
+        )
+        if ship_as_list:
+            step_metrics.messages_sent += merged.num_embeddings
+            step_metrics.bytes_sent += list_bytes
+            stats.shipped_format = LIST_STORAGE
+            return merged
+        step_metrics.messages_sent += shuffle_messages
+        step_metrics.bytes_sent += shuffle_bytes
+        if not merged.is_empty():
+            step_metrics.broadcast_messages += 1
+            step_metrics.broadcast_bytes += odag_bytes
+        stats.shipped_format = ODAG_STORAGE
+        return merged
+
+    @staticmethod
+    def _list_equivalent_bytes(global_store, embedding_size: int) -> int:
+        """Bytes the stored set would occupy as plain word lists (Figure 9)."""
+        return global_store.num_embeddings * (4 + 4 * embedding_size)
+
+
+def run_computation(
+    graph: LabeledGraph,
+    computation: Computation,
+    config: ArabesqueConfig | None = None,
+) -> RunResult:
+    """One-call convenience wrapper: build an engine and run it."""
+    return ArabesqueEngine(graph, computation, config).run()

@@ -1,0 +1,63 @@
+"""Candidate extension generation (Algorithm 1's expansion step).
+
+"The system computes candidates by adding one incident edge or vertex to e,
+depending on whether it runs in edge-based or vertex-based exploration mode"
+(paper, section 3.1).  In the first exploration step the candidate set is
+every vertex (or edge) of the input graph.
+
+Candidates are deduplicated within one parent (a vertex adjacent to several
+members is generated once); deduplication *across* parents is the job of the
+canonicality check, not of this module.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..graph import LabeledGraph
+from .embedding import EDGE_EXPLORATION, VERTEX_EXPLORATION
+
+
+def vertex_extensions(graph: LabeledGraph, words: tuple[int, ...]) -> list[int]:
+    """Distinct neighboring vertices of the embedding, sorted ascending.
+
+    Sorted output keeps exploration deterministic across runs and worker
+    counts, which the tests rely on for cross-validation.
+    """
+    members = set(words)
+    candidates: set[int] = set()
+    for v in words:
+        candidates.update(graph.neighbor_set(v))
+    candidates -= members
+    return sorted(candidates)
+
+
+def edge_extensions(graph: LabeledGraph, words: tuple[int, ...]) -> list[int]:
+    """Distinct incident edges not already in the embedding, sorted."""
+    member_edges = set(words)
+    span: set[int] = set()
+    for eid in words:
+        span.update(graph.edge_endpoints(eid))
+    candidates: set[int] = set()
+    for v in span:
+        candidates.update(graph.incident_edges(v))
+    candidates -= member_edges
+    return sorted(candidates)
+
+
+def extensions(graph: LabeledGraph, mode: str, words: tuple[int, ...]) -> list[int]:
+    """Mode-dispatched extension generation."""
+    if mode == VERTEX_EXPLORATION:
+        return vertex_extensions(graph, words)
+    if mode == EDGE_EXPLORATION:
+        return edge_extensions(graph, words)
+    raise ValueError(f"unknown exploration mode {mode!r}")
+
+
+def initial_candidates(graph: LabeledGraph, mode: str) -> Iterable[int]:
+    """Expansion of the "undefined" embedding: all vertices or all edges."""
+    if mode == VERTEX_EXPLORATION:
+        return graph.vertices()
+    if mode == EDGE_EXPLORATION:
+        return graph.edges()
+    raise ValueError(f"unknown exploration mode {mode!r}")

@@ -1,0 +1,246 @@
+"""ODAG — Overapproximating Directed Acyclic Graph (paper, section 5.2).
+
+Graph mining generates trillions of intermediate embeddings; storing each
+one separately is prohibitive.  An ODAG stores a set of same-size canonical
+embeddings as ``k`` arrays — the i-th array holds every word (vertex or edge
+id) appearing at position i in any stored embedding — plus edges between
+consecutive arrays: word ``v`` at position i connects to word ``u`` at
+position i+1 iff some stored embedding has ``v, u`` at those positions.
+
+The structure is an *overapproximation*: following array edges can produce
+spurious paths that were never stored (Figure 6's ``<3, 4, 2>``).  Callers
+filter them during extraction by re-applying the same criteria Algorithm 1
+used — the incremental canonicality check and the application filters — so
+extraction recovers exactly the stored set (the paper's key observation:
+anti-monotone filters make membership recomputable).
+
+The i-th array also carries a **path count** per word — how many
+(overapproximated) paths start from it — used for the cost-estimation load
+balancing of section 5.3: workers take contiguous *rank ranges* of the path
+space, recursively splitting array elements whose subtree straddles a
+boundary.  :meth:`Odag.extract_range` implements exactly that recursive
+split as a rank-windowed DFS.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+PrefixFilter = Callable[[tuple[int, ...]], bool]
+"""Extraction filter: receives each path prefix (including the newest word);
+returning False prunes the whole subtree under that prefix."""
+
+
+class Odag:
+    """An ODAG for embeddings of a fixed size (word count).
+
+    One instance stores one pattern's embeddings of one size — Arabesque
+    keeps "one ODAG per pattern" (section 5.2) to reduce spurious paths.
+    """
+
+    __slots__ = ("size", "_levels", "_connections", "num_added", "_sorted", "_counts")
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ValueError("ODAG size (embedding word count) must be >= 1")
+        self.size = size
+        #: set of words present at each position.
+        self._levels: list[set[int]] = [set() for _ in range(size)]
+        #: _connections[i]: word at position i -> set of successor words.
+        self._connections: list[dict[int, set[int]]] = [
+            {} for _ in range(size - 1)
+        ]
+        self.num_added = 0
+        self._sorted: list[dict[int, tuple[int, ...]]] | None = None
+        self._counts: list[dict[int, int]] | None = None
+
+    # ------------------------------------------------------------------
+    # Building
+    # ------------------------------------------------------------------
+    def add(self, words: tuple[int, ...]) -> None:
+        """Store one embedding's words (must match this ODAG's size)."""
+        if len(words) != self.size:
+            raise ValueError(f"expected {self.size} words, got {len(words)}")
+        for level, word in enumerate(words):
+            self._levels[level].add(word)
+        for level in range(self.size - 1):
+            self._connections[level].setdefault(words[level], set()).add(
+                words[level + 1]
+            )
+        self.num_added += 1
+        self._invalidate()
+
+    def merge(self, other: "Odag") -> None:
+        """Union another ODAG of the same size into this one.
+
+        This is the per-pattern global merge executed after every
+        exploration step (workers' local ODAGs -> one global ODAG).
+        """
+        if other.size != self.size:
+            raise ValueError("cannot merge ODAGs of different sizes")
+        for level in range(self.size):
+            self._levels[level] |= other._levels[level]
+        for level in range(self.size - 1):
+            mine = self._connections[level]
+            for word, successors in other._connections[level].items():
+                if word in mine:
+                    mine[word] |= successors
+                else:
+                    mine[word] = set(successors)
+        self.num_added += other.num_added
+        self._invalidate()
+
+    # -- map-reduce merge protocol (engine simulates the paper's
+    #    per-array-entry shuffle with these) -----------------------------
+    def entries(self) -> Iterator[tuple[int, int, frozenset[int]]]:
+        """Yield ``(level, word, successors)`` for every array entry.
+
+        Level-(size-1) words are emitted with an empty successor set so the
+        receiving side reconstructs the last array too.
+        """
+        for level in range(self.size - 1):
+            for word, successors in self._connections[level].items():
+                yield level, word, frozenset(successors)
+        for word in self._levels[self.size - 1]:
+            yield self.size - 1, word, frozenset()
+
+    def merge_entry(self, level: int, word: int, successors: frozenset[int]) -> None:
+        """Fold one shuffled array entry into this ODAG."""
+        self._levels[level].add(word)
+        if successors:
+            self._levels[level + 1] |= successors
+            self._connections[level].setdefault(word, set()).update(successors)
+        self._invalidate()
+
+    def _invalidate(self) -> None:
+        self._sorted = None
+        self._counts = None
+
+    # ------------------------------------------------------------------
+    # Size accounting
+    # ------------------------------------------------------------------
+    def is_empty(self) -> bool:
+        return not self._levels[0]
+
+    def wire_size(self) -> int:
+        """Serialized size under the wire model of :mod:`repro.bsp.messages`.
+
+        Each array: a 4-byte length header plus, per entry, the 4-byte word
+        and a header plus 4 bytes per outgoing edge.  This is what makes an
+        ODAG "more compact than storing the full set of embeddings": edges
+        between k arrays are bounded by O(k * N^2) regardless of how many
+        of the up-to-N^k embeddings are stored.
+        """
+        total = 4 + 4 * len(self._levels[self.size - 1])
+        for level in range(self.size - 1):
+            total += 4
+            for successors in self._connections[level].values():
+                total += 4 + 4 + 4 * len(successors)
+        return total
+
+    def level_sizes(self) -> tuple[int, ...]:
+        """Number of distinct words per array (diagnostics)."""
+        return tuple(len(level) for level in self._levels)
+
+    # ------------------------------------------------------------------
+    # Path counting (section 5.3 cost estimation)
+    # ------------------------------------------------------------------
+    def _ensure_index(self) -> None:
+        if self._sorted is not None and self._counts is not None:
+            return
+        sorted_levels: list[dict[int, tuple[int, ...]]] = []
+        for level in range(self.size - 1):
+            sorted_levels.append(
+                {
+                    word: tuple(sorted(successors))
+                    for word, successors in self._connections[level].items()
+                }
+            )
+        self._sorted = sorted_levels
+        counts: list[dict[int, int]] = [dict() for _ in range(self.size)]
+        for word in self._levels[self.size - 1]:
+            counts[self.size - 1][word] = 1
+        for level in range(self.size - 2, -1, -1):
+            for word, successors in self._connections[level].items():
+                counts[level][word] = sum(
+                    counts[level + 1].get(u, 0) for u in successors
+                )
+        self._counts = counts
+
+    def total_paths(self) -> int:
+        """Number of overapproximated paths (>= stored embeddings)."""
+        self._ensure_index()
+        assert self._counts is not None
+        return sum(self._counts[0].get(w, 0) for w in self._levels[0])
+
+    def path_count(self, level: int, word: int) -> int:
+        """Paths reaching the end from ``word`` at ``level`` (cost estimate)."""
+        self._ensure_index()
+        assert self._counts is not None
+        return self._counts[level].get(word, 0)
+
+    # ------------------------------------------------------------------
+    # Extraction
+    # ------------------------------------------------------------------
+    def extract(self, prefix_filter: PrefixFilter | None = None) -> Iterator[tuple[int, ...]]:
+        """All paths passing ``prefix_filter``, in rank order."""
+        yield from self.extract_range(0, self.total_paths(), prefix_filter)
+
+    def extract_range(
+        self,
+        start_rank: int,
+        end_rank: int,
+        prefix_filter: PrefixFilter | None = None,
+    ) -> Iterator[tuple[int, ...]]:
+        """Paths with rank in ``[start_rank, end_rank)`` passing the filter.
+
+        Ranks index the *overapproximated* path space in the deterministic
+        order induced by sorted arrays, so disjoint rank ranges across
+        workers partition the work without coordination — the paper's
+        block/round-robin scheme realized as exact range splitting.
+        """
+        self._ensure_index()
+        assert self._sorted is not None and self._counts is not None
+        if start_rank >= end_rank or self.is_empty():
+            return
+        sorted_first = sorted(self._levels[0])
+        counts = self._counts
+        sorted_conn = self._sorted
+        size = self.size
+
+        def walk(
+            level: int, prefix: tuple[int, ...], base: int, candidates
+        ) -> Iterator[tuple[int, ...]]:
+            for word in candidates:
+                subtree = counts[level].get(word, 0)
+                if subtree == 0:
+                    continue
+                if base + subtree <= start_rank:
+                    base += subtree
+                    continue
+                if base >= end_rank:
+                    return
+                # Paths repeating a word are always spurious (an embedding
+                # never contains the same vertex/edge twice); the candidate
+                # generator never proposes them, so the canonicality check
+                # does not guard against them — extraction must.
+                if word in prefix:
+                    base += subtree
+                    continue
+                extended = prefix + (word,)
+                if prefix_filter is None or prefix_filter(extended):
+                    if level == size - 1:
+                        yield extended
+                    else:
+                        yield from walk(
+                            level + 1, extended, base, sorted_conn[level][word]
+                        )
+                base += subtree
+
+        yield from walk(0, (), 0, sorted_first)
+
+    def __repr__(self) -> str:
+        return (
+            f"Odag(size={self.size}, added={self.num_added}, "
+            f"levels={self.level_sizes()})"
+        )

@@ -1,0 +1,223 @@
+"""Inter-step embedding storage: per-pattern ODAGs or plain lists.
+
+After each exploration step Arabesque must persist the surviving embeddings
+(set ``F`` of Algorithm 1) so the next step can expand them.  Two strategies
+are implemented behind one interface:
+
+* :class:`OdagStore` — the paper's design: one
+  :class:`~repro.core.odag.Odag` per canonical pattern, merged globally and
+  broadcast (sections 5.2-5.3);
+* :class:`ListStore` — explicit word lists, the "No ODAGs" configuration of
+  Figure 10 (also what the real system falls back to when ODAGs compress
+  poorly, e.g. the Instagram runs of Table 5).
+
+Both report wire sizes so the Figure 9 compression experiment can compare
+them on identical embedding sets, and both support deterministic rank-range
+partitioning so worker counts do not change what is explored.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from .odag import Odag, PrefixFilter
+from .pattern import Pattern
+
+#: Storage-mode configuration values.
+ODAG_STORAGE = "odag"
+LIST_STORAGE = "list"
+#: Per-step choice of the cheaper wire format (section 6.3: "in the first
+#: exploration steps with very large and sparse graphs ... we can revert to
+#: using embedding lists").
+ADAPTIVE_STORAGE = "adaptive"
+
+
+def _pattern_sort_key(pattern: Pattern) -> tuple:
+    return (pattern.vertex_labels, pattern.edges)
+
+
+class EmbeddingStore:
+    """Interface shared by both storage strategies."""
+
+    def add(self, pattern: Pattern, words: tuple[int, ...]) -> None:
+        """Store one embedding under its (canonical) pattern."""
+        raise NotImplementedError
+
+    def is_empty(self) -> bool:
+        raise NotImplementedError
+
+    @property
+    def num_embeddings(self) -> int:
+        """Embeddings stored (exact, not overapproximated)."""
+        raise NotImplementedError
+
+    def patterns(self) -> list[Pattern]:
+        """Stored patterns in deterministic (sorted) order."""
+        raise NotImplementedError
+
+    def wire_size(self) -> int:
+        """Bytes to ship this store under the wire model."""
+        raise NotImplementedError
+
+    def extract_partition(
+        self,
+        worker_id: int,
+        num_workers: int,
+        prefix_filter: PrefixFilter | None = None,
+    ) -> Iterator[tuple[Pattern, tuple[int, ...]]]:
+        """Yield ``(pattern, words)`` of this worker's share of embeddings."""
+        raise NotImplementedError
+
+
+class OdagStore(EmbeddingStore):
+    """Per-pattern ODAGs (the paper's default storage)."""
+
+    def __init__(self) -> None:
+        self._odags: dict[Pattern, Odag] = {}
+
+    def add(self, pattern: Pattern, words: tuple[int, ...]) -> None:
+        odag = self._odags.get(pattern)
+        if odag is None:
+            odag = Odag(len(words))
+            self._odags[pattern] = odag
+        odag.add(words)
+
+    def odag_for(self, pattern: Pattern) -> Odag:
+        """The pattern's ODAG (KeyError if absent)."""
+        return self._odags[pattern]
+
+    def is_empty(self) -> bool:
+        return not self._odags
+
+    @property
+    def num_embeddings(self) -> int:
+        return sum(odag.num_added for odag in self._odags.values())
+
+    @property
+    def num_odags(self) -> int:
+        """Distinct patterns — "as the number of patterns grows, so does the
+        number of ODAGs" (section 6.3)."""
+        return len(self._odags)
+
+    def patterns(self) -> list[Pattern]:
+        return sorted(self._odags, key=_pattern_sort_key)
+
+    def wire_size(self) -> int:
+        return sum(
+            pattern.wire_size() + odag.wire_size()
+            for pattern, odag in self._odags.items()
+        )
+
+    def total_paths(self) -> int:
+        """Overapproximated path count across all patterns."""
+        return sum(odag.total_paths() for odag in self._odags.values())
+
+    def merge(self, other: "OdagStore") -> None:
+        """Union another store (per-pattern ODAG merge)."""
+        for pattern, odag in other._odags.items():
+            mine = self._odags.get(pattern)
+            if mine is None:
+                fresh = Odag(odag.size)
+                fresh.merge(odag)
+                self._odags[pattern] = fresh
+            else:
+                mine.merge(odag)
+
+    #: Rank blocks each worker receives per pattern ODAG.  Interleaving
+    #: blocks round-robin (rather than one contiguous range per worker)
+    #: spreads hub-heavy rank regions across workers — the paper's "round
+    #: robin on large blocks of b embeddings" (section 5.3).
+    blocks_per_worker: int = 32
+
+    def extract_partition(
+        self,
+        worker_id: int,
+        num_workers: int,
+        prefix_filter: PrefixFilter | None = None,
+    ) -> Iterator[tuple[Pattern, tuple[int, ...]]]:
+        """Block round-robin share of each pattern's ODAG (section 5.3).
+
+        The overapproximated path space of every pattern ODAG is cut into
+        equal rank blocks (per-element path counts are the cost estimate)
+        and dealt round-robin.  The deal is rotated by the pattern's index
+        so that workloads with many small per-pattern ODAGs (e.g. labeled
+        cliques, where most patterns hold a handful of embeddings and form
+        a single block) spread across workers instead of all landing on
+        worker 0.  All workers see the same global structure, so the split
+        needs no coordination.
+        """
+        for pattern_index, pattern in enumerate(self.patterns()):
+            odag = self._odags[pattern]
+            total = odag.total_paths()
+            if total == 0:
+                continue
+            num_blocks = min(total, num_workers * self.blocks_per_worker)
+            first = (worker_id + pattern_index) % num_workers
+            for block in range(first, num_blocks, num_workers):
+                start = total * block // num_blocks
+                end = total * (block + 1) // num_blocks
+                for words in odag.extract_range(start, end, prefix_filter):
+                    yield pattern, words
+
+
+class ListStore(EmbeddingStore):
+    """Explicit embedding lists — the Figure 10 "No ODAGs" ablation."""
+
+    def __init__(self) -> None:
+        self._lists: dict[Pattern, list[tuple[int, ...]]] = {}
+
+    def add(self, pattern: Pattern, words: tuple[int, ...]) -> None:
+        self._lists.setdefault(pattern, []).append(words)
+
+    def is_empty(self) -> bool:
+        return not self._lists
+
+    @property
+    def num_embeddings(self) -> int:
+        return sum(len(words_list) for words_list in self._lists.values())
+
+    def patterns(self) -> list[Pattern]:
+        return sorted(self._lists, key=_pattern_sort_key)
+
+    def wire_size(self) -> int:
+        """Header + 4 bytes per word of every stored embedding."""
+        total = 0
+        for pattern, words_list in self._lists.items():
+            total += pattern.wire_size() + 4
+            for words in words_list:
+                total += 4 + 4 * len(words)
+        return total
+
+    def merge(self, other: "ListStore") -> None:
+        for pattern, words_list in other._lists.items():
+            self._lists.setdefault(pattern, []).extend(words_list)
+
+    def sort(self) -> None:
+        """Make extraction order deterministic after merging."""
+        for words_list in self._lists.values():
+            words_list.sort()
+
+    def extract_partition(
+        self,
+        worker_id: int,
+        num_workers: int,
+        prefix_filter: PrefixFilter | None = None,
+    ) -> Iterator[tuple[Pattern, tuple[int, ...]]]:
+        """Contiguous per-pattern slices; stored embeddings are exact, so
+        ``prefix_filter`` is not consulted (nothing spurious to discard)."""
+        for pattern in self.patterns():
+            words_list = self._lists[pattern]
+            total = len(words_list)
+            start = total * worker_id // num_workers
+            end = total * (worker_id + 1) // num_workers
+            for words in words_list[start:end]:
+                yield pattern, words
+
+
+def make_store(storage_mode: str) -> EmbeddingStore:
+    """Factory for the configured storage strategy."""
+    if storage_mode == ODAG_STORAGE:
+        return OdagStore()
+    if storage_mode == LIST_STORAGE:
+        return ListStore()
+    raise ValueError(f"unknown storage mode {storage_mode!r}")

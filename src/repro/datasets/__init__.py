@@ -1,0 +1,29 @@
+"""Synthetic stand-ins for the paper's evaluation datasets."""
+
+from .synthetic import (
+    DATASETS,
+    PAPER_TABLE1,
+    DatasetStatistics,
+    citeseer_like,
+    dataset_statistics,
+    instagram_like,
+    mico_like,
+    patents_like,
+    scale_free_graph,
+    sn_like,
+    youtube_like,
+)
+
+__all__ = [
+    "DATASETS",
+    "DatasetStatistics",
+    "PAPER_TABLE1",
+    "citeseer_like",
+    "dataset_statistics",
+    "instagram_like",
+    "mico_like",
+    "patents_like",
+    "scale_free_graph",
+    "sn_like",
+    "youtube_like",
+]

@@ -1,0 +1,46 @@
+"""Graph substrate: immutable labeled graphs, builders, generators, I/O."""
+
+from .builder import GraphBuilder
+from .generators import (
+    assign_labels,
+    complete_graph,
+    cycle_graph,
+    gnm_random_graph,
+    graph_from_edges,
+    grid_graph,
+    path_graph,
+    powerlaw_graph,
+    random_regularish_graph,
+    star_graph,
+    strip_labels,
+)
+from .graph import GraphError, LabeledGraph
+from .io import (
+    graph_from_string,
+    read_adjacency,
+    read_edge_list,
+    write_adjacency,
+    write_edge_list,
+)
+
+__all__ = [
+    "GraphBuilder",
+    "GraphError",
+    "LabeledGraph",
+    "assign_labels",
+    "complete_graph",
+    "cycle_graph",
+    "gnm_random_graph",
+    "graph_from_edges",
+    "graph_from_string",
+    "grid_graph",
+    "path_graph",
+    "powerlaw_graph",
+    "random_regularish_graph",
+    "read_adjacency",
+    "read_edge_list",
+    "star_graph",
+    "strip_labels",
+    "write_adjacency",
+    "write_edge_list",
+]

@@ -1,0 +1,231 @@
+"""Seeded random-graph generators used to synthesize the paper's datasets.
+
+The evaluation graphs of the paper are either citation/co-authorship networks
+(scale-free, heavy-tailed degrees: CiteSeer, MiCo, Patents) or crawled social
+networks (Youtube, SN, Instagram).  Two generator families cover them:
+
+* :func:`gnm_random_graph` — uniform random (Erdős–Rényi G(n, m)), used where
+  density matters more than skew;
+* :func:`powerlaw_graph` — preferential attachment (Barabási–Albert style)
+  producing the scale-free degree distributions that drive the hotspot
+  phenomena in the paper's TLV experiments (section 6.2 notes "CiteSeer is a
+  scale-free graph thus affecting the scalability of TLV").
+
+Labels are attached separately with :func:`assign_labels` so the same
+topology can be reused across labeled (FSM) and unlabeled (motifs/cliques)
+experiments.  All generators take an explicit ``seed`` and are deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from .graph import GraphError, LabeledGraph
+
+
+def gnm_random_graph(
+    num_vertices: int,
+    num_edges: int,
+    seed: int = 0,
+    name: str = "gnm",
+) -> LabeledGraph:
+    """Uniform random simple graph with exactly ``num_edges`` edges.
+
+    Sampling is rejection-based over vertex pairs, which is fast while the
+    graph is sparse (all paper datasets have density well below 1%).
+    """
+    max_edges = num_vertices * (num_vertices - 1) // 2
+    if num_edges > max_edges:
+        raise GraphError(
+            f"cannot place {num_edges} edges in a {num_vertices}-vertex simple graph"
+        )
+    rng = random.Random(seed)
+    chosen: set[tuple[int, int]] = set()
+    # Dense request: enumerate and sample, avoiding rejection stalls.
+    if max_edges and num_edges > max_edges // 2:
+        population = [
+            (u, v) for u in range(num_vertices) for v in range(u + 1, num_vertices)
+        ]
+        edges = rng.sample(population, num_edges)
+        return LabeledGraph([0] * num_vertices, edges, name=name)
+    while len(chosen) < num_edges:
+        u = rng.randrange(num_vertices)
+        v = rng.randrange(num_vertices)
+        if u == v:
+            continue
+        key = (u, v) if u < v else (v, u)
+        chosen.add(key)
+    return LabeledGraph([0] * num_vertices, sorted(chosen), name=name)
+
+
+def powerlaw_graph(
+    num_vertices: int,
+    edges_per_vertex: int,
+    seed: int = 0,
+    name: str = "powerlaw",
+) -> LabeledGraph:
+    """Preferential-attachment graph (Barabási–Albert flavor).
+
+    Each arriving vertex attaches ``edges_per_vertex`` edges to existing
+    vertices chosen proportionally to their current degree, producing a
+    power-law degree tail.  ``edges_per_vertex`` may be fractional on
+    average by alternating attachment counts; here it must be an integer
+    >= 1 and the first ``edges_per_vertex + 1`` vertices form a seed clique
+    so early attachments have targets.
+    """
+    m = edges_per_vertex
+    if m < 1:
+        raise GraphError("edges_per_vertex must be >= 1")
+    if num_vertices < m + 1:
+        raise GraphError("need at least edges_per_vertex + 1 vertices")
+    rng = random.Random(seed)
+    edges: list[tuple[int, int]] = []
+    # repeated_targets holds one entry per edge endpoint: sampling from it is
+    # sampling proportional to degree.
+    repeated_targets: list[int] = []
+    for u in range(m + 1):
+        for v in range(u + 1, m + 1):
+            edges.append((u, v))
+            repeated_targets.append(u)
+            repeated_targets.append(v)
+    for v in range(m + 1, num_vertices):
+        targets: set[int] = set()
+        while len(targets) < m:
+            targets.add(rng.choice(repeated_targets))
+        for u in targets:
+            edges.append((u, v) if u < v else (v, u))
+            repeated_targets.append(u)
+            repeated_targets.append(v)
+    return LabeledGraph([0] * num_vertices, edges, name=name)
+
+
+def random_regularish_graph(
+    num_vertices: int,
+    degree: int,
+    seed: int = 0,
+    name: str = "regularish",
+) -> LabeledGraph:
+    """Near-regular random graph via a configuration-model style pairing.
+
+    Used for dense social-network-like substrates (the SN graph has average
+    degree 79 with low skew compared to citation graphs).  Collisions
+    (self-loops, duplicates) are dropped, so degrees are approximately
+    ``degree``.
+    """
+    if degree >= num_vertices:
+        raise GraphError("degree must be below num_vertices")
+    rng = random.Random(seed)
+    stubs = [v for v in range(num_vertices) for _ in range(degree)]
+    rng.shuffle(stubs)
+    seen: set[tuple[int, int]] = set()
+    edges: list[tuple[int, int]] = []
+    for i in range(0, len(stubs) - 1, 2):
+        u, v = stubs[i], stubs[i + 1]
+        if u == v:
+            continue
+        key = (u, v) if u < v else (v, u)
+        if key in seen:
+            continue
+        seen.add(key)
+        edges.append(key)
+    return LabeledGraph([0] * num_vertices, edges, name=name)
+
+
+def assign_labels(
+    graph: LabeledGraph,
+    num_labels: int,
+    seed: int = 0,
+    skew: float = 0.0,
+) -> LabeledGraph:
+    """Return a copy of ``graph`` with random vertex labels ``0..num_labels-1``.
+
+    ``skew`` interpolates between uniform label frequencies (0.0) and a
+    Zipf-like distribution (1.0) where label ``i`` has weight ``1/(i+1)``.
+    Real labeled graphs (CiteSeer areas, MiCo fields of interest) have
+    skewed label histograms, which matters for FSM: skew concentrates
+    embeddings on few patterns, the hotspot effect of section 6.2.
+    """
+    if num_labels < 1:
+        raise GraphError("num_labels must be >= 1")
+    rng = random.Random(seed)
+    if skew <= 0.0:
+        labels = [rng.randrange(num_labels) for _ in graph.vertices()]
+    else:
+        weights = [(1.0 - skew) + skew / (i + 1) for i in range(num_labels)]
+        population = list(range(num_labels))
+        labels = rng.choices(population, weights=weights, k=graph.num_vertices)
+    return graph.relabel(labels)
+
+
+def strip_labels(graph: LabeledGraph) -> LabeledGraph:
+    """A copy of ``graph`` with all vertex labels set to 0.
+
+    Motif mining "assumes the input graph is unlabeled" (paper, section 2)
+    and clique mining is purely structural; the paper's Motifs/Cliques runs
+    on labeled datasets (MiCo, Youtube) ignore the labels — Table 4 reports
+    only 3 quick patterns for Motifs-MiCo, which is only possible with
+    labels stripped.
+    """
+    return graph.relabel([0] * graph.num_vertices)
+
+
+def grid_graph(rows: int, cols: int, name: str = "grid") -> LabeledGraph:
+    """Deterministic 2-D grid — handy as a worst case for cliques (none > 2)."""
+    def vid(r: int, c: int) -> int:
+        return r * cols + c
+
+    edges: list[tuple[int, int]] = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                edges.append((vid(r, c), vid(r, c + 1)))
+            if r + 1 < rows:
+                edges.append((vid(r, c), vid(r + 1, c)))
+    return LabeledGraph([0] * (rows * cols), edges, name=name)
+
+
+def complete_graph(num_vertices: int, name: str = "complete") -> LabeledGraph:
+    """K_n — the worst case for clique mining and a canonicality stress test."""
+    edges = [
+        (u, v) for u in range(num_vertices) for v in range(u + 1, num_vertices)
+    ]
+    return LabeledGraph([0] * num_vertices, edges, name=name)
+
+
+def path_graph(num_vertices: int, name: str = "path") -> LabeledGraph:
+    """Simple path P_n."""
+    edges = [(v, v + 1) for v in range(num_vertices - 1)]
+    return LabeledGraph([0] * max(num_vertices, 0), edges, name=name)
+
+
+def cycle_graph(num_vertices: int, name: str = "cycle") -> LabeledGraph:
+    """Simple cycle C_n (requires n >= 3)."""
+    if num_vertices < 3:
+        raise GraphError("a cycle needs at least 3 vertices")
+    edges = [(v, (v + 1) % num_vertices) for v in range(num_vertices)]
+    edges = [(u, v) if u < v else (v, u) for u, v in edges]
+    return LabeledGraph([0] * num_vertices, edges, name=name)
+
+
+def star_graph(num_leaves: int, name: str = "star") -> LabeledGraph:
+    """Star with one hub and ``num_leaves`` leaves — the TLV hotspot shape."""
+    edges = [(0, leaf) for leaf in range(1, num_leaves + 1)]
+    return LabeledGraph([0] * (num_leaves + 1), edges, name=name)
+
+
+def graph_from_edges(
+    edges: Sequence[tuple[int, int]],
+    vertex_labels: Sequence[int] | None = None,
+    edge_labels: Sequence[int] | None = None,
+    name: str = "graph",
+) -> LabeledGraph:
+    """Small-graph literal: infer the vertex count from the edge list."""
+    n = 0
+    for u, v in edges:
+        n = max(n, u + 1, v + 1)
+    if vertex_labels is None:
+        vertex_labels = [0] * n
+    elif len(vertex_labels) < n:
+        raise GraphError("vertex_labels shorter than edge list requires")
+    return LabeledGraph(vertex_labels, list(edges), edge_labels, name=name)

@@ -1,0 +1,315 @@
+"""Immutable labeled graph: the input-graph substrate of Arabesque.
+
+Arabesque workers each hold "a local read-only copy of the graph" whose
+"vertices and edges consist of incremental numeric ids" (paper, section 4.3).
+:class:`LabeledGraph` is that copy: an undirected graph with dense integer
+vertex ids ``0..n-1``, dense integer edge ids ``0..m-1``, and integer labels
+on both vertices and edges (label ``0`` plays the role of the paper's "null"
+label for unlabeled graphs).
+
+The representation is tuned for the hot loops of embedding exploration:
+
+* ``neighbors(v)`` returns a sorted tuple, so extension generation and the
+  canonicality check of Algorithm 2 can scan in id order without re-sorting;
+* ``edge_id(u, v)`` is a dict lookup, needed when converting vertex-induced
+  embeddings to their edge sets and during edge-based exploration;
+* ``adjacent(u, v)`` is O(min deg) via per-vertex neighbor sets.
+
+Instances are deeply immutable: all collections are tuples and the neighbor
+sets are ``frozenset``.  Build them with :class:`repro.graph.GraphBuilder`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+
+class GraphError(ValueError):
+    """Raised for malformed graph construction or out-of-range queries."""
+
+
+class LabeledGraph:
+    """An immutable undirected graph with labeled vertices and edges.
+
+    Parameters
+    ----------
+    vertex_labels:
+        Sequence of integer labels; vertex ``v`` has label
+        ``vertex_labels[v]``.  The length defines the vertex count.
+    edges:
+        Sequence of ``(u, v)`` pairs with ``u != v``.  Edge ids are assigned
+        in the order given.  Parallel edges and self-loops are rejected
+        (the paper assumes simple graphs without self-loops).
+    edge_labels:
+        Optional sequence of integer labels, one per edge; defaults to all
+        zeros (the "null" label).
+    name:
+        Optional human-readable dataset name used in reports.
+    """
+
+    __slots__ = (
+        "_vertex_labels",
+        "_edge_endpoints",
+        "_edge_labels",
+        "_neighbors",
+        "_neighbor_sets",
+        "_incident_edges",
+        "_edge_index",
+        "_name",
+    )
+
+    def __init__(
+        self,
+        vertex_labels: Sequence[int],
+        edges: Sequence[tuple[int, int]],
+        edge_labels: Sequence[int] | None = None,
+        name: str = "graph",
+    ) -> None:
+        n = len(vertex_labels)
+        self._vertex_labels = tuple(int(label) for label in vertex_labels)
+        if edge_labels is None:
+            edge_labels = [0] * len(edges)
+        if len(edge_labels) != len(edges):
+            raise GraphError(
+                f"{len(edges)} edges but {len(edge_labels)} edge labels"
+            )
+
+        adjacency: list[list[int]] = [[] for _ in range(n)]
+        incident: list[list[int]] = [[] for _ in range(n)]
+        endpoints: list[tuple[int, int]] = []
+        edge_index: dict[tuple[int, int], int] = {}
+        for eid, (u, v) in enumerate(edges):
+            if not (0 <= u < n and 0 <= v < n):
+                raise GraphError(f"edge ({u}, {v}) references a missing vertex")
+            if u == v:
+                raise GraphError(f"self-loop on vertex {u} is not allowed")
+            key = (u, v) if u < v else (v, u)
+            if key in edge_index:
+                raise GraphError(f"parallel edge ({u}, {v})")
+            edge_index[key] = eid
+            endpoints.append(key)
+            adjacency[u].append(v)
+            adjacency[v].append(u)
+            incident[u].append(eid)
+            incident[v].append(eid)
+
+        self._edge_endpoints = tuple(endpoints)
+        self._edge_labels = tuple(int(label) for label in edge_labels)
+        self._neighbors = tuple(tuple(sorted(adj)) for adj in adjacency)
+        self._neighbor_sets = tuple(frozenset(adj) for adj in adjacency)
+        self._incident_edges = tuple(tuple(sorted(inc)) for inc in incident)
+        self._edge_index = edge_index
+        self._name = name
+
+    # ------------------------------------------------------------------
+    # Size and identity
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Dataset name used in benchmark reports."""
+        return self._name
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices (ids are ``0..num_vertices - 1``)."""
+        return len(self._vertex_labels)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges (ids are ``0..num_edges - 1``)."""
+        return len(self._edge_endpoints)
+
+    @property
+    def num_vertex_labels(self) -> int:
+        """Number of distinct vertex labels present in the graph."""
+        return len(set(self._vertex_labels)) if self._vertex_labels else 0
+
+    def average_degree(self) -> float:
+        """Average vertex degree, ``2m / n`` (0.0 for the empty graph)."""
+        if not self._vertex_labels:
+            return 0.0
+        return 2.0 * self.num_edges / self.num_vertices
+
+    # ------------------------------------------------------------------
+    # Vertices
+    # ------------------------------------------------------------------
+    def vertices(self) -> range:
+        """All vertex ids, in increasing order."""
+        return range(self.num_vertices)
+
+    def vertex_label(self, v: int) -> int:
+        """Label of vertex ``v``."""
+        return self._vertex_labels[v]
+
+    @property
+    def vertex_labels(self) -> tuple[int, ...]:
+        """Tuple of all vertex labels indexed by vertex id."""
+        return self._vertex_labels
+
+    def degree(self, v: int) -> int:
+        """Degree of vertex ``v``."""
+        return len(self._neighbors[v])
+
+    def neighbors(self, v: int) -> tuple[int, ...]:
+        """Neighbors of ``v`` as a sorted tuple (ascending vertex id)."""
+        return self._neighbors[v]
+
+    def neighbor_set(self, v: int) -> frozenset[int]:
+        """Neighbors of ``v`` as a frozenset for O(1) membership tests."""
+        return self._neighbor_sets[v]
+
+    def adjacent(self, u: int, v: int) -> bool:
+        """Whether an edge ``(u, v)`` exists."""
+        return v in self._neighbor_sets[u]
+
+    # ------------------------------------------------------------------
+    # Edges
+    # ------------------------------------------------------------------
+    def edges(self) -> range:
+        """All edge ids, in increasing order."""
+        return range(self.num_edges)
+
+    def edge_endpoints(self, eid: int) -> tuple[int, int]:
+        """Endpoints ``(u, v)`` of edge ``eid`` with ``u < v``."""
+        return self._edge_endpoints[eid]
+
+    def edge_label(self, eid: int) -> int:
+        """Label of edge ``eid``."""
+        return self._edge_labels[eid]
+
+    @property
+    def edge_labels(self) -> tuple[int, ...]:
+        """Tuple of all edge labels indexed by edge id."""
+        return self._edge_labels
+
+    def edge_id(self, u: int, v: int) -> int:
+        """Edge id of the edge between ``u`` and ``v``.
+
+        Raises :class:`GraphError` if no such edge exists; use
+        :meth:`adjacent` first when absence is expected.
+        """
+        key = (u, v) if u < v else (v, u)
+        try:
+            return self._edge_index[key]
+        except KeyError:
+            raise GraphError(f"no edge between {u} and {v}") from None
+
+    def incident_edges(self, v: int) -> tuple[int, ...]:
+        """Edge ids incident to vertex ``v``, sorted ascending."""
+        return self._incident_edges[v]
+
+    def edge_other_endpoint(self, eid: int, v: int) -> int:
+        """The endpoint of ``eid`` that is not ``v``."""
+        u, w = self._edge_endpoints[eid]
+        if v == u:
+            return w
+        if v == w:
+            return u
+        raise GraphError(f"vertex {v} is not an endpoint of edge {eid}")
+
+    # ------------------------------------------------------------------
+    # Label statistics (used by dataset reports and generators)
+    # ------------------------------------------------------------------
+    def vertex_label_histogram(self) -> dict[int, int]:
+        """Mapping ``label -> number of vertices`` carrying it."""
+        histogram: dict[int, int] = {}
+        for label in self._vertex_labels:
+            histogram[label] = histogram.get(label, 0) + 1
+        return histogram
+
+    # ------------------------------------------------------------------
+    # Structure helpers
+    # ------------------------------------------------------------------
+    def induced_edge_ids(self, vertex_set: Iterable[int]) -> list[int]:
+        """Edge ids of the subgraph induced by ``vertex_set``, sorted."""
+        members = set(vertex_set)
+        found: list[int] = []
+        for v in members:
+            for eid in self._incident_edges[v]:
+                u, w = self._edge_endpoints[eid]
+                if u in members and w in members and v == u:
+                    found.append(eid)
+        found.sort()
+        return found
+
+    def is_connected_vertex_set(self, vertex_ids: Sequence[int]) -> bool:
+        """Whether ``vertex_ids`` induces a connected subgraph."""
+        if not vertex_ids:
+            return False
+        members = set(vertex_ids)
+        stack = [next(iter(members))]
+        seen = {stack[0]}
+        while stack:
+            v = stack.pop()
+            for u in self._neighbors[v]:
+                if u in members and u not in seen:
+                    seen.add(u)
+                    stack.append(u)
+        return len(seen) == len(members)
+
+    def connected_components(self) -> list[list[int]]:
+        """Connected components as sorted vertex-id lists."""
+        seen = [False] * self.num_vertices
+        components: list[list[int]] = []
+        for start in self.vertices():
+            if seen[start]:
+                continue
+            component = [start]
+            seen[start] = True
+            stack = [start]
+            while stack:
+                v = stack.pop()
+                for u in self._neighbors[v]:
+                    if not seen[u]:
+                        seen[u] = True
+                        component.append(u)
+                        stack.append(u)
+            component.sort()
+            components.append(component)
+        return components
+
+    # ------------------------------------------------------------------
+    # Dunder protocol
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        return (
+            f"LabeledGraph(name={self._name!r}, vertices={self.num_vertices}, "
+            f"edges={self.num_edges}, labels={self.num_vertex_labels})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LabeledGraph):
+            return NotImplemented
+        return (
+            self._vertex_labels == other._vertex_labels
+            and self._edge_endpoints == other._edge_endpoints
+            and self._edge_labels == other._edge_labels
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._vertex_labels, self._edge_endpoints, self._edge_labels))
+
+    def relabel(
+        self, vertex_labels: Mapping[int, int] | Sequence[int]
+    ) -> "LabeledGraph":
+        """A copy of this graph with different vertex labels.
+
+        Accepts either a full sequence of labels or a mapping of
+        ``vertex -> new label`` (unmapped vertices keep their label).
+        """
+        if isinstance(vertex_labels, Mapping):
+            labels = list(self._vertex_labels)
+            for v, label in vertex_labels.items():
+                labels[v] = label
+        else:
+            labels = list(vertex_labels)
+            if len(labels) != self.num_vertices:
+                raise GraphError("label sequence length must match vertex count")
+        return LabeledGraph(
+            labels, self._edge_endpoints, self._edge_labels, name=self._name
+        )
+
+    def edge_iter(self) -> Iterator[tuple[int, int, int]]:
+        """Iterate ``(eid, u, v)`` triples in edge-id order."""
+        for eid, (u, v) in enumerate(self._edge_endpoints):
+            yield eid, u, v

@@ -1,0 +1,145 @@
+"""Graph text formats.
+
+Two formats are supported:
+
+* **Edge list** — one ``u v [edge_label]`` pair per line, optionally preceded
+  by ``v <vertex> <label>`` vertex-label lines.  Comment lines start with
+  ``#``.  This covers the crawled datasets the paper uses (Youtube, Patents).
+
+* **Arabesque adjacency** — the input format of the original system: one line
+  per vertex, ``<vertex id> <vertex label> [<neighbor id> ...]``.  Edge
+  labels are not representable; they default to 0.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import TextIO
+
+from .builder import GraphBuilder
+from .graph import GraphError, LabeledGraph
+
+
+def _open_for_read(source: str | Path | TextIO) -> tuple[TextIO, bool]:
+    if isinstance(source, (str, Path)):
+        return open(source, "r", encoding="utf-8"), True
+    return source, False
+
+
+def _open_for_write(target: str | Path | TextIO) -> tuple[TextIO, bool]:
+    if isinstance(target, (str, Path)):
+        return open(target, "w", encoding="utf-8"), True
+    return target, False
+
+
+def read_edge_list(source: str | Path | TextIO, name: str = "graph") -> LabeledGraph:
+    """Parse an edge-list file into a :class:`LabeledGraph`.
+
+    Lines:
+
+    * ``# ...`` — comment, ignored.
+    * ``v <vertex> <label>`` — declare a vertex with a label.
+    * ``<u> <v>`` or ``<u> <v> <edge label>`` — an undirected edge.
+
+    Vertices referenced only by edges get label 0.  Vertex names may be any
+    whitespace-free token; dense ids are assigned in first-seen order.
+    """
+    handle, owned = _open_for_read(source)
+    builder = GraphBuilder()
+    try:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if parts[0] == "v":
+                if len(parts) != 3:
+                    raise GraphError(f"line {lineno}: expected 'v <vertex> <label>'")
+                builder.add_vertex(parts[1], label=int(parts[2]))
+            elif len(parts) == 2:
+                builder.add_edge(parts[0], parts[1])
+            elif len(parts) == 3:
+                builder.add_edge(parts[0], parts[1], label=int(parts[2]))
+            else:
+                raise GraphError(f"line {lineno}: malformed edge line {line!r}")
+    finally:
+        if owned:
+            handle.close()
+    return builder.build(name=name)
+
+
+def write_edge_list(graph: LabeledGraph, target: str | Path | TextIO) -> None:
+    """Write ``graph`` in the edge-list format accepted by read_edge_list."""
+    handle, owned = _open_for_write(target)
+    try:
+        handle.write(f"# {graph.name}\n")
+        for v in graph.vertices():
+            handle.write(f"v {v} {graph.vertex_label(v)}\n")
+        for eid, u, v in graph.edge_iter():
+            handle.write(f"{u} {v} {graph.edge_label(eid)}\n")
+    finally:
+        if owned:
+            handle.close()
+
+
+def read_adjacency(source: str | Path | TextIO, name: str = "graph") -> LabeledGraph:
+    """Parse the original Arabesque adjacency format.
+
+    One line per vertex: ``<vertex id> <vertex label> [<neighbor id> ...]``.
+    Vertex ids must be dense ``0..n-1``; each edge may be listed on one or
+    both endpoint lines.
+    """
+    handle, owned = _open_for_read(source)
+    labels: dict[int, int] = {}
+    adjacency: dict[int, list[int]] = {}
+    try:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise GraphError(f"line {lineno}: expected '<id> <label> [nbrs...]'")
+            vid, label = int(parts[0]), int(parts[1])
+            if vid in labels:
+                raise GraphError(f"line {lineno}: duplicate vertex {vid}")
+            labels[vid] = label
+            adjacency[vid] = [int(p) for p in parts[2:]]
+    finally:
+        if owned:
+            handle.close()
+
+    n = len(labels)
+    if set(labels) != set(range(n)):
+        raise GraphError("adjacency format requires dense vertex ids 0..n-1")
+
+    edges: list[tuple[int, int]] = []
+    seen: set[tuple[int, int]] = set()
+    for v in range(n):
+        for u in adjacency[v]:
+            if not 0 <= u < n:
+                raise GraphError(f"vertex {v} lists missing neighbor {u}")
+            key = (v, u) if v < u else (u, v)
+            if key not in seen:
+                seen.add(key)
+                edges.append(key)
+    return LabeledGraph([labels[v] for v in range(n)], edges, name=name)
+
+
+def write_adjacency(graph: LabeledGraph, target: str | Path | TextIO) -> None:
+    """Write ``graph`` in the original Arabesque adjacency format."""
+    handle, owned = _open_for_write(target)
+    try:
+        for v in graph.vertices():
+            neighbors = " ".join(str(u) for u in graph.neighbors(v))
+            suffix = f" {neighbors}" if neighbors else ""
+            handle.write(f"{v} {graph.vertex_label(v)}{suffix}\n")
+    finally:
+        if owned:
+            handle.close()
+
+
+def graph_from_string(text: str, name: str = "graph") -> LabeledGraph:
+    """Parse an edge-list graph from an inline string (tests, examples)."""
+    return read_edge_list(io.StringIO(text), name=name)

@@ -1,0 +1,33 @@
+"""Isomorphism substrate: canonical labeling (bliss substitute), VF2, orbits."""
+
+from .canonical_label import (
+    Certificate,
+    build_adjacency,
+    canonical_form,
+    find_automorphisms,
+    vertex_orbits,
+)
+from .refinement import (
+    color_classes,
+    individualize,
+    initial_coloring,
+    is_discrete,
+    refine_coloring,
+)
+from .vf2 import SubgraphMatcher, distinct_embeddings, find_isomorphisms
+
+__all__ = [
+    "Certificate",
+    "SubgraphMatcher",
+    "build_adjacency",
+    "canonical_form",
+    "color_classes",
+    "distinct_embeddings",
+    "find_automorphisms",
+    "find_isomorphisms",
+    "individualize",
+    "initial_coloring",
+    "is_discrete",
+    "refine_coloring",
+    "vertex_orbits",
+]

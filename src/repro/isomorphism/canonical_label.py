@@ -1,0 +1,199 @@
+"""Canonical labeling of small labeled graphs — the bliss substitute.
+
+Arabesque maps every *quick pattern* to a *canonical pattern* by solving
+graph isomorphism with the bliss library (paper, section 5.4).  This module
+provides the same capability for the pattern sizes graph mining produces
+(up to ~10 vertices) using the classic individualization–refinement scheme:
+
+1. refine the vertex coloring with 1-WL (:mod:`.refinement`);
+2. if the coloring is discrete it defines an ordering — emit its
+   *certificate* (a total serialization of the relabeled graph);
+3. otherwise branch on every vertex of the first smallest non-singleton
+   color class, individualize, and recurse;
+4. the canonical form is the lexicographically smallest certificate over
+   all leaves.
+
+Because refinement is isomorphism-invariant, two isomorphic graphs explore
+mirrored trees and arrive at the same minimal certificate; hence
+``certificate(g1) == certificate(g2)``  iff  ``g1 ≅ g2`` (labels included).
+
+The same tree also yields the automorphism group: every leaf ordering whose
+certificate equals the canonical one differs from the canonical ordering by
+an automorphism, and all automorphisms arise this way
+(:func:`find_automorphisms`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from .refinement import (
+    AdjacencyList,
+    color_classes,
+    individualize,
+    initial_coloring,
+    is_discrete,
+    refine_coloring,
+)
+
+Certificate = tuple
+"""Opaque, hashable, totally ordered canonical form of a labeled graph."""
+
+
+def build_adjacency(
+    num_vertices: int, edges: dict[tuple[int, int], int]
+) -> list[list[tuple[int, int]]]:
+    """Per-vertex ``(neighbor, edge label)`` lists from an edge-label dict.
+
+    ``edges`` maps ``(u, v)`` with ``u < v`` to the edge label.
+    """
+    adjacency: list[list[tuple[int, int]]] = [[] for _ in range(num_vertices)]
+    for (u, v), edge_label in edges.items():
+        adjacency[u].append((v, edge_label))
+        adjacency[v].append((u, edge_label))
+    return adjacency
+
+
+def _ordering_from_coloring(coloring: Sequence[int]) -> list[int]:
+    """Discrete coloring -> vertex ordering (position i holds the vertex
+    with color i)."""
+    order = [0] * len(coloring)
+    for v, color in enumerate(coloring):
+        order[color] = v
+    return order
+
+
+def _certificate_for_ordering(
+    ordering: Sequence[int],
+    vertex_labels: Sequence[int],
+    edges: dict[tuple[int, int], int],
+) -> Certificate:
+    """Serialize the graph relabeled by ``ordering`` into a certificate.
+
+    ``ordering[i]`` is the original vertex placed at canonical position
+    ``i``.  The certificate is ``(n, vertex label row, sorted edge triples)``
+    where each edge triple is ``(i, j, edge label)`` in canonical positions,
+    ``i < j``.
+    """
+    position = {v: i for i, v in enumerate(ordering)}
+    relabeled_edges = []
+    for (u, v), edge_label in edges.items():
+        i, j = position[u], position[v]
+        if i > j:
+            i, j = j, i
+        relabeled_edges.append((i, j, edge_label))
+    relabeled_edges.sort()
+    labels_row = tuple(vertex_labels[v] for v in ordering)
+    return (len(ordering), labels_row, tuple(relabeled_edges))
+
+
+def _search_leaves(
+    adjacency: AdjacencyList, coloring: list[int]
+) -> Iterator[list[int]]:
+    """Yield the vertex ordering of every leaf of the IR tree."""
+    coloring = refine_coloring(adjacency, coloring)
+    if is_discrete(coloring):
+        yield _ordering_from_coloring(coloring)
+        return
+    # Target cell: first smallest non-singleton class (deterministic and
+    # isomorphism-invariant choice).
+    target: list[int] | None = None
+    for cell in color_classes(coloring):
+        if len(cell) > 1 and (target is None or len(cell) < len(target)):
+            target = cell
+    assert target is not None
+    for vertex in target:
+        yield from _search_leaves(adjacency, individualize(coloring, vertex))
+
+
+def canonical_form(
+    num_vertices: int,
+    vertex_labels: Sequence[int],
+    edges: dict[tuple[int, int], int],
+) -> tuple[Certificate, list[int]]:
+    """Canonical certificate and one canonical ordering.
+
+    Returns ``(certificate, ordering)`` where ``ordering[i]`` is the original
+    vertex assigned canonical position ``i``.  Two labeled graphs have equal
+    certificates iff they are isomorphic respecting vertex and edge labels.
+    """
+    if num_vertices == 0:
+        return (0, (), ()), []
+    adjacency = build_adjacency(num_vertices, edges)
+    start = initial_coloring(vertex_labels)
+    best_cert: Certificate | None = None
+    best_ordering: list[int] | None = None
+    for ordering in _search_leaves(adjacency, start):
+        cert = _certificate_for_ordering(ordering, vertex_labels, edges)
+        if best_cert is None or cert < best_cert:
+            best_cert = cert
+            best_ordering = ordering
+    assert best_cert is not None and best_ordering is not None
+    return best_cert, best_ordering
+
+
+def find_automorphisms(
+    num_vertices: int,
+    vertex_labels: Sequence[int],
+    edges: dict[tuple[int, int], int],
+) -> list[tuple[int, ...]]:
+    """The full automorphism group as vertex permutations.
+
+    Each permutation ``sigma`` satisfies ``sigma[v] = image of v`` and
+    preserves vertex labels, adjacency, and edge labels.  Derived from the
+    IR tree: for minimal-certificate leaf orderings ``p`` and ``q``, the map
+    ``v -> q[p^-1[v]]`` is an automorphism, and every automorphism appears
+    when ``p`` is fixed and ``q`` ranges over all minimal leaves.
+    """
+    if num_vertices == 0:
+        return [()]
+    adjacency = build_adjacency(num_vertices, edges)
+    start = initial_coloring(vertex_labels)
+    leaves_by_cert: dict[Certificate, list[list[int]]] = {}
+    best_cert: Certificate | None = None
+    for ordering in _search_leaves(adjacency, start):
+        cert = _certificate_for_ordering(ordering, vertex_labels, edges)
+        if best_cert is None or cert < best_cert:
+            best_cert = cert
+        leaves_by_cert.setdefault(cert, []).append(ordering)
+    assert best_cert is not None
+    minimal_leaves = leaves_by_cert[best_cert]
+    base = minimal_leaves[0]
+    base_inverse = [0] * num_vertices
+    for position, v in enumerate(base):
+        base_inverse[v] = position
+    automorphisms = []
+    for leaf in minimal_leaves:
+        automorphisms.append(tuple(leaf[base_inverse[v]] for v in range(num_vertices)))
+    return sorted(set(automorphisms))
+
+
+def vertex_orbits(
+    num_vertices: int,
+    vertex_labels: Sequence[int],
+    edges: dict[tuple[int, int], int],
+) -> list[int]:
+    """Orbit id per vertex under the automorphism group.
+
+    Orbit ids are normalized to the smallest vertex in each orbit, so two
+    vertices are interchangeable by symmetry iff they share an orbit id.
+    Used by the MNI support metric to fold per-vertex domains
+    (:mod:`repro.apps.support`).
+    """
+    parent = list(range(num_vertices))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for sigma in find_automorphisms(num_vertices, vertex_labels, edges):
+        for v in range(num_vertices):
+            a, b = find(v), find(sigma[v])
+            if a != b:
+                if a < b:
+                    parent[b] = a
+                else:
+                    parent[a] = b
+    return [find(v) for v in range(num_vertices)]

@@ -1,0 +1,87 @@
+"""Color refinement (1-dimensional Weisfeiler–Leman) for small labeled graphs.
+
+This is the workhorse inside the canonical labeling algorithm
+(:mod:`repro.isomorphism.canonical_label`), our substitute for the bliss
+library the paper uses for pattern canonicality (section 5.4).
+
+A *coloring* is a list ``color[v]`` of small integers.  Refinement splits
+color classes by the multiset of ``(edge label, neighbor color)`` pairs seen
+from each vertex, repeating until a fixpoint.  The split order is fully
+deterministic — new colors are assigned by sorting classes on
+``(old color, signature)`` — which is what makes the enclosing canonical
+labeling isomorphism-invariant: two isomorphic graphs refine to colorings
+related by the same isomorphism.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+AdjacencyList = Sequence[Sequence[tuple[int, int]]]
+"""Per-vertex sequence of ``(neighbor, edge label)`` pairs."""
+
+
+def initial_coloring(vertex_labels: Sequence[int]) -> list[int]:
+    """Coloring that partitions vertices by their label.
+
+    Colors are assigned by sorted label value so that isomorphic graphs get
+    identical initial colorings up to the isomorphism.
+    """
+    distinct = sorted(set(vertex_labels))
+    index = {label: i for i, label in enumerate(distinct)}
+    return [index[label] for label in vertex_labels]
+
+
+def refine_coloring(adjacency: AdjacencyList, coloring: Sequence[int]) -> list[int]:
+    """Refine ``coloring`` to the coarsest stable refinement.
+
+    Returns a new coloring with colors renumbered ``0..k-1`` such that the
+    color order is determined by ``(old color, neighborhood signature)``.
+    The input is not modified.
+    """
+    n = len(coloring)
+    current = list(coloring)
+    while True:
+        signatures: list[tuple[int, tuple[tuple[int, int], ...]]] = []
+        for v in range(n):
+            neighborhood = sorted(
+                (edge_label, current[u]) for u, edge_label in adjacency[v]
+            )
+            signatures.append((current[v], tuple(neighborhood)))
+        order = sorted(set(signatures))
+        index = {sig: i for i, sig in enumerate(order)}
+        refined = [index[signatures[v]] for v in range(n)]
+        if refined == current:
+            return refined
+        current = refined
+
+
+def color_classes(coloring: Sequence[int]) -> list[list[int]]:
+    """Vertices grouped by color, ordered by color; members sorted."""
+    classes: dict[int, list[int]] = {}
+    for v, color in enumerate(coloring):
+        classes.setdefault(color, []).append(v)
+    return [sorted(classes[color]) for color in sorted(classes)]
+
+
+def is_discrete(coloring: Sequence[int]) -> bool:
+    """Whether every color class is a singleton."""
+    return len(set(coloring)) == len(coloring)
+
+
+def individualize(coloring: Sequence[int], vertex: int) -> list[int]:
+    """Split ``vertex`` into its own color, placed before its old class.
+
+    All colors >= the old color of ``vertex`` shift up by one; ``vertex``
+    takes the old color value, so it precedes the remainder of its class.
+    """
+    pivot = coloring[vertex]
+    result = []
+    for v, color in enumerate(coloring):
+        if v == vertex:
+            result.append(pivot)
+        elif color >= pivot:
+            result.append(color + 1)
+        else:
+            result.append(color)
+    return result

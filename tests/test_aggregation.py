@@ -1,0 +1,167 @@
+"""Tests for the aggregation framework and two-level pattern aggregation."""
+
+import pytest
+
+from repro.apps import Domain
+from repro.core import Pattern, PatternCanonicalizer
+from repro.core.aggregation import (
+    AggregationChannel,
+    LocalAggregation,
+    merge_partials,
+    remap_value,
+)
+
+
+def sum_reduce(key, values):
+    return sum(values)
+
+
+def domain_reduce(key, values):
+    return Domain.merge_all(values)
+
+
+BYB = Pattern((1, 2, 1), ((0, 1, 0), (1, 2, 0)))
+BYB_CENTER_OUT = Pattern((2, 1, 1), ((0, 1, 0), (0, 2, 0)))  # same class
+
+
+class TestChannel:
+    def test_read_before_any_step(self):
+        channel = AggregationChannel("agg", sum_reduce)
+        assert channel.read("k") is None
+
+    def test_publish_and_read(self):
+        channel = AggregationChannel("agg", sum_reduce)
+        channel.step_barrier({"k": 5})
+        assert channel.read("k") == 5
+        assert channel.published() == {"k": 5}
+
+    def test_non_persistent_overwrites(self):
+        channel = AggregationChannel("agg", sum_reduce)
+        channel.step_barrier({"k": 5})
+        channel.step_barrier({"j": 1})
+        assert channel.read("k") is None
+        assert channel.read("j") == 1
+
+    def test_persistent_accumulates(self):
+        channel = AggregationChannel("out", sum_reduce, persistent=True)
+        channel.step_barrier({"k": 5})
+        channel.step_barrier({"k": 3, "j": 1})
+        assert channel.finalize() == {"k": 8, "j": 1}
+
+    def test_finalize_empty_for_per_step_channel(self):
+        channel = AggregationChannel("agg", sum_reduce)
+        channel.step_barrier({"k": 5})
+        assert channel.finalize() == {}
+
+
+class TestLocalAggregation:
+    def test_plain_keys(self):
+        channel = AggregationChannel("agg", sum_reduce)
+        local = LocalAggregation(channel, PatternCanonicalizer())
+        local.map("a", 1)
+        local.map("a", 2)
+        local.map("b", 5)
+        assert local.merged_partials() == {"a": 3, "b": 5}
+
+    def test_empty(self):
+        channel = AggregationChannel("agg", sum_reduce)
+        local = LocalAggregation(channel, PatternCanonicalizer())
+        assert local.is_empty()
+        assert local.merged_partials() == {}
+
+    def test_pattern_keys_collapse_to_canonical(self):
+        channel = AggregationChannel("agg", sum_reduce)
+        canonicalizer = PatternCanonicalizer(two_level=True)
+        local = LocalAggregation(channel, canonicalizer)
+        local.map(BYB, 1)
+        local.map(BYB_CENTER_OUT, 1)
+        partials = local.merged_partials()
+        assert len(partials) == 1
+        ((key, value),) = partials.items()
+        assert key == BYB.canonical()
+        assert value == 2
+        # Two distinct quick patterns, one isomorphism run each.
+        assert canonicalizer.isomorphism_runs == 2
+
+    def test_two_level_runs_isomorphism_once_per_quick_pattern(self):
+        channel = AggregationChannel("agg", sum_reduce)
+        canonicalizer = PatternCanonicalizer(two_level=True)
+        local = LocalAggregation(channel, canonicalizer)
+        for _ in range(100):
+            local.map(BYB, 1)
+        local.merged_partials()
+        assert canonicalizer.isomorphism_runs == 1
+
+    def test_without_two_level_runs_isomorphism_per_map(self):
+        channel = AggregationChannel("agg", sum_reduce)
+        canonicalizer = PatternCanonicalizer(two_level=False)
+        local = LocalAggregation(channel, canonicalizer)
+        for _ in range(10):
+            local.map(BYB, 1)
+        local.merged_partials()
+        assert canonicalizer.isomorphism_runs == 10
+
+    def test_domain_values_are_remapped(self):
+        """Domains mapped under different quick patterns of one class must
+        land on consistent canonical positions."""
+        channel = AggregationChannel("agg", domain_reduce)
+        canonicalizer = PatternCanonicalizer(two_level=True)
+        local = LocalAggregation(channel, canonicalizer)
+        # BYB visit order: ends are positions 0,2; center (label 2) is 1.
+        local.map(BYB, Domain([frozenset({10}), frozenset({20}), frozenset({30})]))
+        # Center-out visit order: center is position 0, ends are 1,2.
+        local.map(
+            BYB_CENTER_OUT,
+            Domain([frozenset({20}), frozenset({10}), frozenset({30})]),
+        )
+        ((key, merged),) = local.merged_partials().items()
+        canonical = BYB.canonical()
+        assert key == canonical
+        # The center (label 2) position of the canonical pattern must hold
+        # exactly {20} from both contributions.
+        center_position = canonical.vertex_labels.index(2)
+        assert merged.position_images(center_position) == frozenset({20})
+
+    def test_modes_agree_on_final_values(self):
+        for two_level in (True, False):
+            channel = AggregationChannel("agg", domain_reduce)
+            local = LocalAggregation(channel, PatternCanonicalizer(two_level))
+            local.map(BYB, Domain([frozenset({1}), frozenset({2}), frozenset({3})]))
+            local.map(
+                BYB_CENTER_OUT,
+                Domain([frozenset({5}), frozenset({4}), frozenset({6})]),
+            )
+            ((key, merged),) = local.merged_partials().items()
+            if two_level:
+                reference = (key, merged)
+            else:
+                assert key == reference[0]
+                assert merged == reference[1]
+
+
+class TestMergePartials:
+    def test_cross_worker_merge(self):
+        channel = AggregationChannel("agg", sum_reduce)
+        merged = merge_partials(channel, [{"a": 1, "b": 2}, {"a": 5}])
+        assert merged == {"a": 6, "b": 2}
+
+    def test_single_contribution_skips_reduce(self):
+        def exploding_reduce(key, values):
+            raise AssertionError("reduce must not run for single values")
+
+        channel = AggregationChannel("agg", exploding_reduce)
+        assert merge_partials(channel, [{"a": 1}]) == {"a": 1}
+
+    def test_empty(self):
+        channel = AggregationChannel("agg", sum_reduce)
+        assert merge_partials(channel, []) == {}
+
+
+class TestRemapValue:
+    def test_plain_value_passthrough(self):
+        assert remap_value(7, (1, 0)) == 7
+
+    def test_domain_remapped(self):
+        domain = Domain([frozenset({1}), frozenset({2})])
+        remapped = remap_value(domain, (1, 0))
+        assert remapped.position_images(0) == frozenset({2})

@@ -1,0 +1,128 @@
+"""Tests for the analysis module: profiles, reports, scalability sweeps."""
+
+import pytest
+
+from repro.analysis import (
+    GraphProfile,
+    ScalabilitySweep,
+    count_triangles,
+    count_wedges,
+    profile_graph,
+    run_report,
+    scalability_sweep,
+)
+from repro.apps import MotifCounting
+from repro.core import run_computation
+from repro.graph import (
+    complete_graph,
+    cycle_graph,
+    gnm_random_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+
+
+class TestTriangleCounting:
+    def test_k4(self):
+        assert count_triangles(complete_graph(4)) == 4
+
+    def test_k6(self):
+        assert count_triangles(complete_graph(6)) == 20
+
+    def test_triangle_free(self):
+        assert count_triangles(grid_graph(4, 4)) == 0
+        assert count_triangles(star_graph(10)) == 0
+
+    def test_cycle(self):
+        assert count_triangles(cycle_graph(3)) == 1
+        assert count_triangles(cycle_graph(5)) == 0
+
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_matches_bruteforce(self, seed):
+        import itertools
+
+        g = gnm_random_graph(20, 60, seed=seed)
+        brute = sum(
+            1
+            for a, b, c in itertools.combinations(range(20), 3)
+            if g.adjacent(a, b) and g.adjacent(b, c) and g.adjacent(a, c)
+        )
+        assert count_triangles(g) == brute
+
+
+class TestWedges:
+    def test_star(self):
+        # Hub of degree n: C(n,2) wedges.
+        assert count_wedges(star_graph(5)) == 10
+
+    def test_path(self):
+        assert count_wedges(path_graph(4)) == 2
+
+
+class TestProfile:
+    def test_complete_graph_profile(self):
+        profile = profile_graph(complete_graph(5))
+        assert profile.num_vertices == 5
+        assert profile.triangles == 10
+        assert profile.global_clustering == pytest.approx(1.0)
+        assert profile.connected_components == 1
+        assert profile.max_degree == 4
+
+    def test_empty_graph_profile(self):
+        from repro.graph import LabeledGraph
+
+        profile = profile_graph(LabeledGraph([], []))
+        assert profile.num_vertices == 0
+        assert profile.global_clustering == 0.0
+
+    def test_lines_render(self):
+        lines = profile_graph(complete_graph(4)).lines()
+        assert any("triangles" in line for line in lines)
+
+    def test_grid_zero_clustering(self):
+        assert profile_graph(grid_graph(3, 3)).global_clustering == 0.0
+
+
+class TestRunReport:
+    def test_report_contains_key_figures(self):
+        result = run_computation(complete_graph(5), MotifCounting(3))
+        report = run_report(result)
+        assert "exploration steps" in report
+        assert "simulated makespan" in report
+        assert "per-step" in report
+
+    def test_report_without_metrics(self):
+        from repro.core import RunResult
+
+        report = run_report(RunResult())
+        assert "workers" not in report
+
+
+class TestScalabilitySweep:
+    def test_sweep_runs_all_counts(self):
+        g = gnm_random_graph(30, 90, seed=3)
+        sweep = scalability_sweep(g, lambda: MotifCounting(3), (1, 2, 4))
+        assert set(sweep.makespans) == {1, 2, 4}
+        assert all(t > 0 for t in sweep.makespans.values())
+
+    def test_speedups_relative_to_smallest(self):
+        sweep = ScalabilitySweep(makespans={1: 8.0, 2: 4.0, 4: 2.0})
+        curve = sweep.speedups()
+        assert curve[4] == pytest.approx(4.0)
+
+    def test_parallel_efficiency(self):
+        sweep = ScalabilitySweep(makespans={1: 8.0, 4: 4.0})
+        assert sweep.parallel_efficiency()[4] == pytest.approx(0.5)
+
+    def test_parallel_efficiency_requires_single_worker_run(self):
+        sweep = ScalabilitySweep(makespans={2: 4.0})
+        with pytest.raises(ValueError):
+            sweep.parallel_efficiency()
+
+    def test_sweep_results_consistent(self):
+        g = gnm_random_graph(25, 70, seed=5)
+        sweep = scalability_sweep(g, lambda: MotifCounting(3), (1, 3))
+        assert (
+            sweep.results[1].total_processed == sweep.results[3].total_processed
+        )

@@ -1,0 +1,91 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, load_graph, main
+from repro.graph import write_edge_list, gnm_random_graph, assign_labels
+
+
+@pytest.fixture
+def edge_list_file(tmp_path):
+    graph = assign_labels(gnm_random_graph(20, 40, seed=1), 3, seed=1)
+    path = tmp_path / "toy.edges"
+    write_edge_list(graph, path)
+    return path
+
+
+class TestLoadGraph:
+    def test_dataset_name(self):
+        graph = load_graph("citeseer", scale=0.1)
+        assert graph.num_vertices == 331
+
+    def test_dataset_default_scale(self):
+        graph = load_graph("citeseer", scale=None)
+        assert graph.num_vertices == 3312
+
+    def test_file(self, edge_list_file):
+        graph = load_graph(str(edge_list_file), scale=None)
+        assert graph.num_vertices == 20
+
+    def test_missing_spec(self):
+        with pytest.raises(SystemExit):
+            load_graph("no-such-thing", scale=None)
+
+
+class TestCommands:
+    def test_stats(self, capsys):
+        assert main(["stats", "citeseer", "--scale", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "citeseer-like" in out
+
+    def test_motifs(self, capsys, edge_list_file):
+        assert main(["motifs", str(edge_list_file), "--max-size", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "motif v=3" in out
+        assert "processed=" in out
+
+    def test_motifs_labeled_flag(self, capsys, edge_list_file):
+        assert main(
+            ["motifs", str(edge_list_file), "--max-size", "3", "--labeled"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "motif" in out
+
+    def test_cliques(self, capsys, edge_list_file):
+        assert main(["cliques", str(edge_list_file), "--max-size", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "cliques" in out
+
+    def test_cliques_maximal(self, capsys, edge_list_file):
+        assert main(
+            ["cliques", str(edge_list_file), "--max-size", "3", "--maximal"]
+        ) == 0
+
+    def test_cliques_verbose(self, capsys, edge_list_file):
+        assert main(
+            ["cliques", str(edge_list_file), "--max-size", "3",
+             "--min-size", "2", "--verbose"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "size 2" in out
+
+    def test_fsm(self, capsys, edge_list_file):
+        assert main(
+            ["fsm", str(edge_list_file), "--support", "3", "--max-edges", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "pattern labels=" in out
+
+    def test_fsm_requires_support(self, edge_list_file):
+        with pytest.raises(SystemExit):
+            main(["fsm", str(edge_list_file)])
+
+    def test_workers_flag(self, capsys, edge_list_file):
+        assert main(
+            ["motifs", str(edge_list_file), "--max-size", "3",
+             "--workers", "4"]
+        ) == 0
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,90 @@
+"""Tests for the synthetic dataset generators."""
+
+import pytest
+
+from repro.datasets import (
+    DATASETS,
+    PAPER_TABLE1,
+    citeseer_like,
+    dataset_statistics,
+    instagram_like,
+    mico_like,
+    patents_like,
+    scale_free_graph,
+    sn_like,
+    youtube_like,
+)
+
+
+class TestScaleFree:
+    def test_edge_target_roughly_hit(self):
+        g = scale_free_graph(500, 1500, seed=1)
+        assert 0.9 * 1500 <= g.num_edges <= 1500
+
+    def test_deterministic(self):
+        assert scale_free_graph(200, 500, seed=5) == scale_free_graph(200, 500, seed=5)
+
+    def test_heavy_tail(self):
+        g = scale_free_graph(800, 2400, seed=2)
+        degrees = sorted((g.degree(v) for v in g.vertices()), reverse=True)
+        assert degrees[0] >= 4 * degrees[len(degrees) // 2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            scale_free_graph(1, 5)
+
+
+class TestGenerators:
+    def test_citeseer_full_scale_matches_paper(self):
+        g = citeseer_like()
+        paper = PAPER_TABLE1["citeseer"]
+        assert g.num_vertices == paper.vertices
+        assert abs(g.num_edges - paper.edges) / paper.edges < 0.1
+        assert g.num_vertex_labels == paper.labels
+
+    @pytest.mark.parametrize(
+        "factory,paper_key,label_count",
+        [
+            (mico_like, "mico", 29),
+            (patents_like, "patents", 37),
+            (youtube_like, "youtube", 80),
+        ],
+    )
+    def test_labeled_generators(self, factory, paper_key, label_count):
+        g = factory()
+        paper = PAPER_TABLE1[paper_key]
+        assert g.num_vertex_labels == label_count
+        # Average degree within 2x of the paper's (downscaling tolerance).
+        assert g.average_degree() > paper.average_degree / 3
+
+    def test_sn_is_dense_and_unlabeled(self):
+        g = sn_like()
+        assert g.num_vertex_labels == 1
+        assert g.average_degree() > 15
+
+    def test_instagram_is_sparse_and_unlabeled(self):
+        g = instagram_like()
+        assert g.num_vertex_labels == 1
+        assert 5 <= g.average_degree() <= 12
+
+    def test_all_deterministic(self):
+        for name, factory in DATASETS.items():
+            assert factory() == factory(), name
+
+    def test_scaling_parameter(self):
+        small = mico_like(scale=0.01)
+        large = mico_like(scale=0.02)
+        assert large.num_vertices > small.num_vertices
+        assert large.num_edges > small.num_edges
+
+
+class TestStatistics:
+    def test_statistics_row(self):
+        g = citeseer_like()
+        stats = dataset_statistics(g)
+        assert stats.vertices == g.num_vertices
+        assert stats.average_degree == pytest.approx(g.average_degree())
+        assert "citeseer-like" in stats.row()
+
+    def test_paper_table_complete(self):
+        assert set(PAPER_TABLE1) == set(DATASETS)

@@ -1,0 +1,123 @@
+"""Tests for embeddings (vertex- and edge-induced) and quick patterns."""
+
+import pytest
+
+from repro.core import (
+    EDGE_EXPLORATION,
+    VERTEX_EXPLORATION,
+    EdgeInducedEmbedding,
+    VertexInducedEmbedding,
+    make_embedding,
+)
+from repro.graph import graph_from_edges
+
+
+@pytest.fixture
+def labeled_square():
+    # 0-1-2-3-0 cycle plus chord 0-2; labels 1,2,1,2; edge labels 10..14.
+    return graph_from_edges(
+        [(0, 1), (1, 2), (2, 3), (0, 3), (0, 2)],
+        vertex_labels=[1, 2, 1, 2],
+        edge_labels=[10, 11, 12, 13, 14],
+    )
+
+
+class TestVertexInduced:
+    def test_vertices_are_words(self, labeled_square):
+        e = VertexInducedEmbedding(labeled_square, (0, 1, 2))
+        assert e.vertices == (0, 1, 2)
+        assert e.num_vertices == 3
+
+    def test_edges_are_induced(self, labeled_square):
+        e = VertexInducedEmbedding(labeled_square, (0, 1, 2))
+        # Edges among {0,1,2}: (0,1)=0, (1,2)=1, (0,2)=4.
+        assert e.edges == (0, 1, 4)
+        assert e.num_edges == 3
+
+    def test_extend(self, labeled_square):
+        e = VertexInducedEmbedding(labeled_square, (0, 1))
+        child = e.extend(2)
+        assert isinstance(child, VertexInducedEmbedding)
+        assert child.words == (0, 1, 2)
+        assert e.words == (0, 1)  # parent unchanged
+
+    def test_vertex_set(self, labeled_square):
+        e = VertexInducedEmbedding(labeled_square, (2, 0))
+        assert e.vertex_set() == frozenset({0, 2})
+
+    def test_quick_pattern_structure(self, labeled_square):
+        e = VertexInducedEmbedding(labeled_square, (0, 1, 2))
+        p = e.pattern()
+        assert p.vertex_labels == (1, 2, 1)
+        assert p.edges == ((0, 1, 10), (0, 2, 14), (1, 2, 11))
+
+    def test_quick_pattern_depends_on_visit_order(self, labeled_square):
+        # Automorphic embeddings in different orders -> different quick
+        # patterns (this is what two-level aggregation reconciles).
+        path_a = VertexInducedEmbedding(labeled_square, (1, 2, 3))
+        path_b = VertexInducedEmbedding(labeled_square, (3, 2, 1))
+        assert path_a.pattern().canonical() == path_b.pattern().canonical()
+
+    def test_is_clique_incremental(self, labeled_square):
+        assert VertexInducedEmbedding(labeled_square, (0, 1, 2)).is_clique()
+        assert not VertexInducedEmbedding(labeled_square, (0, 1, 3)).is_clique()
+        assert VertexInducedEmbedding(labeled_square, (0,)).is_clique()
+        assert VertexInducedEmbedding(labeled_square, (0, 1)).is_clique()
+
+    def test_equality_and_hash(self, labeled_square):
+        a = VertexInducedEmbedding(labeled_square, (0, 1))
+        b = VertexInducedEmbedding(labeled_square, (0, 1))
+        c = VertexInducedEmbedding(labeled_square, (1, 0))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_vertex_and_edge_embeddings_never_equal(self, labeled_square):
+        v = VertexInducedEmbedding(labeled_square, (0, 1))
+        e = EdgeInducedEmbedding(labeled_square, (0, 1))
+        assert v != e
+
+
+class TestEdgeInduced:
+    def test_edges_are_words(self, labeled_square):
+        e = EdgeInducedEmbedding(labeled_square, (0, 1))
+        assert e.edges == (0, 1)
+        assert e.num_edges == 2
+
+    def test_vertices_first_seen_order(self, labeled_square):
+        # edge 1 = (1,2), edge 0 = (0,1): vertices 1,2 then 0.
+        e = EdgeInducedEmbedding(labeled_square, (1, 0))
+        assert e.vertices == (1, 2, 0)
+        assert e.num_vertices == 3
+
+    def test_non_induced_semantics(self, labeled_square):
+        # Edges (0,1) and (1,2) only: chord (0,2) is NOT part of the
+        # embedding even though it exists in the graph.
+        e = EdgeInducedEmbedding(labeled_square, (0, 1))
+        p = e.pattern()
+        assert p.num_edges == 2
+
+    def test_quick_pattern_labels(self, labeled_square):
+        e = EdgeInducedEmbedding(labeled_square, (0, 1))
+        p = e.pattern()
+        assert p.vertex_labels == (1, 2, 1)
+        assert ((0, 1, 10) in p.edges) and ((1, 2, 11) in p.edges)
+
+    def test_size_is_word_count(self, labeled_square):
+        e = EdgeInducedEmbedding(labeled_square, (0, 1, 2))
+        assert e.size == 3
+        assert len(e) == 3
+
+
+class TestFactory:
+    def test_vertex_mode(self, labeled_square):
+        e = make_embedding(labeled_square, VERTEX_EXPLORATION, (0,))
+        assert isinstance(e, VertexInducedEmbedding)
+
+    def test_edge_mode(self, labeled_square):
+        e = make_embedding(labeled_square, EDGE_EXPLORATION, (0,))
+        assert isinstance(e, EdgeInducedEmbedding)
+
+    def test_unknown_mode(self, labeled_square):
+        with pytest.raises(ValueError):
+            make_embedding(labeled_square, "bogus", (0,))

@@ -1,0 +1,189 @@
+"""Failure injection: misbehaving applications and hostile configurations.
+
+The engine is a framework running user code; these tests pin down what
+happens when that code misbehaves — errors must propagate cleanly (never
+pass silently), contexts must be detached afterwards, and API misuse must
+produce actionable messages.
+"""
+
+import pytest
+
+from repro.core import (
+    ArabesqueConfig,
+    Computation,
+    ExplorationError,
+    VERTEX_EXPLORATION,
+    run_computation,
+)
+from repro.core.engine import ArabesqueEngine
+from repro.graph import complete_graph, path_graph
+
+
+class Boom(RuntimeError):
+    pass
+
+
+class TestUserFunctionErrors:
+    def _run(self, computation):
+        return run_computation(complete_graph(4), computation)
+
+    def test_filter_error_propagates(self):
+        class BadFilter(Computation):
+            def filter(self, e):
+                raise Boom("filter")
+
+        with pytest.raises(Boom):
+            self._run(BadFilter())
+
+    def test_process_error_propagates(self):
+        class BadProcess(Computation):
+            def process(self, e):
+                raise Boom("process")
+
+        with pytest.raises(Boom):
+            self._run(BadProcess())
+
+    def test_aggregation_filter_error_propagates(self):
+        class BadAlpha(Computation):
+            def filter(self, e):
+                return e.num_vertices <= 2
+
+            def aggregation_filter(self, e):
+                raise Boom("alpha")
+
+        with pytest.raises(Boom):
+            self._run(BadAlpha())
+
+    def test_termination_filter_error_propagates(self):
+        class BadTermination(Computation):
+            def termination_filter(self, e):
+                raise Boom("termination")
+
+        with pytest.raises(Boom):
+            self._run(BadTermination())
+
+    def test_context_detached_after_error(self):
+        class BadProcess(Computation):
+            def process(self, e):
+                raise Boom("process")
+
+        app = BadProcess()
+        with pytest.raises(Boom):
+            self._run(app)
+        # The engine's finally-block must have unbound the context.
+        with pytest.raises(RuntimeError):
+            app.output("stale")
+
+    def test_reduce_error_propagates(self):
+        class BadReduce(Computation):
+            def filter(self, e):
+                return e.num_vertices <= 2
+
+            def process(self, e):
+                self.map("k", 1)
+                self.map("k", 2)
+
+            def reduce(self, key, values):
+                raise Boom("reduce")
+
+        with pytest.raises(Boom):
+            self._run(BadReduce())
+
+
+class TestApiMisuse:
+    def test_map_without_reduce(self):
+        class MapNoReduce(Computation):
+            def filter(self, e):
+                return e.num_vertices <= 1
+
+            def process(self, e):
+                self.map("k", 1)
+                self.map("k", 2)
+
+        with pytest.raises(NotImplementedError, match="reduce"):
+            run_computation(path_graph(3), MapNoReduce())
+
+    def test_map_output_without_reduce_output(self):
+        class MapOutNoReduce(Computation):
+            def filter(self, e):
+                return e.num_vertices <= 1
+
+            def process(self, e):
+                self.map_output("k", 1)
+                self.map_output("k", 2)
+
+        with pytest.raises(NotImplementedError, match="reduce_output"):
+            run_computation(path_graph(3), MapOutNoReduce())
+
+    def test_framework_functions_outside_run(self):
+        class Plain(Computation):
+            pass
+
+        app = Plain()
+        for call in (
+            lambda: app.output(1),
+            lambda: app.map("k", 1),
+            lambda: app.map_output("k", 1),
+            lambda: app.read_aggregate("k"),
+        ):
+            with pytest.raises(RuntimeError, match="engine"):
+                call()
+
+    def test_read_aggregate_of_unknown_key_is_none(self):
+        observed = []
+
+        class Reader(Computation):
+            def filter(self, e):
+                return e.num_vertices <= 2
+
+            def process(self, e):
+                observed.append(self.read_aggregate("never-mapped"))
+
+        run_computation(path_graph(3), Reader())
+        assert observed
+        assert all(value is None for value in observed)
+
+    def test_unknown_exploration_mode(self):
+        class WrongMode(Computation):
+            exploration_mode = "sideways"
+
+        with pytest.raises(ValueError, match="exploration mode"):
+            ArabesqueEngine(path_graph(3), WrongMode())
+
+
+class TestHostileFilters:
+    def test_non_terminating_filter_hits_step_bound(self):
+        class Everything(Computation):
+            def filter(self, e):
+                return True
+
+        config = ArabesqueConfig(max_exploration_steps=3)
+        with pytest.raises(ExplorationError, match="anti-monotonicity"):
+            run_computation(complete_graph(8), Everything(), config)
+
+    def test_flip_flopping_filter_is_contained(self):
+        """A non-anti-monotone filter (accepts odd sizes only) violates the
+        contract; the engine cannot detect it, but exploration still halts
+        because nothing of even size survives to be extended."""
+
+        class FlipFlop(Computation):
+            exploration_mode = VERTEX_EXPLORATION
+
+            def filter(self, e):
+                return e.num_vertices % 2 == 1
+
+        result = run_computation(complete_graph(5), FlipFlop())
+        assert result.num_steps == 2  # size-1 accepted, size-2 all rejected
+
+    def test_output_limit_zero_collects_nothing(self):
+        class Emit(Computation):
+            def filter(self, e):
+                return e.num_vertices <= 1
+
+            def process(self, e):
+                self.output(e.words)
+
+        config = ArabesqueConfig(output_limit=0)
+        result = run_computation(path_graph(4), Emit(), config)
+        assert result.outputs == []
+        assert result.num_outputs == 4

@@ -1,0 +1,114 @@
+"""Tests for the random graph generators (determinism, shape, labels)."""
+
+import pytest
+
+from repro.graph import (
+    GraphError,
+    assign_labels,
+    gnm_random_graph,
+    powerlaw_graph,
+    random_regularish_graph,
+)
+
+
+class TestGnm:
+    def test_exact_edge_count(self):
+        g = gnm_random_graph(50, 120, seed=1)
+        assert g.num_vertices == 50
+        assert g.num_edges == 120
+
+    def test_deterministic(self):
+        g1 = gnm_random_graph(40, 80, seed=7)
+        g2 = gnm_random_graph(40, 80, seed=7)
+        assert g1 == g2
+
+    def test_seed_changes_graph(self):
+        g1 = gnm_random_graph(40, 80, seed=7)
+        g2 = gnm_random_graph(40, 80, seed=8)
+        assert g1 != g2
+
+    def test_dense_request_uses_sampling(self):
+        # > half of max edges triggers the sample path.
+        g = gnm_random_graph(10, 40, seed=3)
+        assert g.num_edges == 40
+
+    def test_rejects_impossible(self):
+        with pytest.raises(GraphError):
+            gnm_random_graph(4, 7, seed=0)
+
+    def test_simple_graph(self):
+        g = gnm_random_graph(30, 60, seed=5)
+        seen = set()
+        for eid in g.edges():
+            u, v = g.edge_endpoints(eid)
+            assert u != v
+            assert (u, v) not in seen
+            seen.add((u, v))
+
+
+class TestPowerlaw:
+    def test_size(self):
+        g = powerlaw_graph(200, 3, seed=2)
+        assert g.num_vertices == 200
+        # seed clique of 4 vertices contributes 6 edges; rest add 3 each.
+        assert g.num_edges == 6 + (200 - 4) * 3
+
+    def test_deterministic(self):
+        assert powerlaw_graph(100, 2, seed=9) == powerlaw_graph(100, 2, seed=9)
+
+    def test_heavy_tail(self):
+        g = powerlaw_graph(500, 2, seed=4)
+        degrees = sorted((g.degree(v) for v in g.vertices()), reverse=True)
+        # Scale-free: the hub should dominate the median degree.
+        assert degrees[0] >= 5 * degrees[len(degrees) // 2]
+
+    def test_rejects_bad_m(self):
+        with pytest.raises(GraphError):
+            powerlaw_graph(10, 0, seed=0)
+        with pytest.raises(GraphError):
+            powerlaw_graph(2, 3, seed=0)
+
+
+class TestRegularish:
+    def test_degrees_close_to_target(self):
+        g = random_regularish_graph(100, 10, seed=6)
+        avg = g.average_degree()
+        assert 8.0 <= avg <= 10.0
+
+    def test_rejects_degree_too_high(self):
+        with pytest.raises(GraphError):
+            random_regularish_graph(5, 5, seed=0)
+
+    def test_deterministic(self):
+        g1 = random_regularish_graph(60, 6, seed=3)
+        g2 = random_regularish_graph(60, 6, seed=3)
+        assert g1 == g2
+
+
+class TestAssignLabels:
+    def test_label_range(self):
+        g = assign_labels(gnm_random_graph(100, 200, seed=1), 7, seed=2)
+        assert set(g.vertex_labels) <= set(range(7))
+
+    def test_deterministic(self):
+        base = gnm_random_graph(100, 200, seed=1)
+        assert assign_labels(base, 5, seed=3) == assign_labels(base, 5, seed=3)
+
+    def test_skew_concentrates_mass(self):
+        base = gnm_random_graph(2000, 4000, seed=1)
+        uniform = assign_labels(base, 10, seed=5, skew=0.0)
+        skewed = assign_labels(base, 10, seed=5, skew=1.0)
+        top_uniform = max(uniform.vertex_label_histogram().values())
+        top_skewed = max(skewed.vertex_label_histogram().values())
+        assert top_skewed > 1.5 * top_uniform
+
+    def test_rejects_zero_labels(self):
+        with pytest.raises(GraphError):
+            assign_labels(gnm_random_graph(10, 5, seed=0), 0)
+
+    def test_topology_preserved(self):
+        base = gnm_random_graph(50, 100, seed=1)
+        labeled = assign_labels(base, 4, seed=2)
+        assert labeled.num_edges == base.num_edges
+        for v in base.vertices():
+            assert labeled.neighbors(v) == base.neighbors(v)

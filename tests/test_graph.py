@@ -1,0 +1,203 @@
+"""Unit tests for the LabeledGraph substrate."""
+
+import pytest
+
+from repro.graph import (
+    GraphError,
+    LabeledGraph,
+    complete_graph,
+    cycle_graph,
+    graph_from_edges,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+
+
+@pytest.fixture
+def triangle_with_tail():
+    # 0-1-2 triangle, 2-3 tail; labels 5,6,7,8; edge labels 10..13.
+    return LabeledGraph(
+        vertex_labels=[5, 6, 7, 8],
+        edges=[(0, 1), (1, 2), (0, 2), (2, 3)],
+        edge_labels=[10, 11, 12, 13],
+        name="tri-tail",
+    )
+
+
+class TestConstruction:
+    def test_counts(self, triangle_with_tail):
+        assert triangle_with_tail.num_vertices == 4
+        assert triangle_with_tail.num_edges == 4
+
+    def test_name(self, triangle_with_tail):
+        assert triangle_with_tail.name == "tri-tail"
+
+    def test_num_vertex_labels(self, triangle_with_tail):
+        assert triangle_with_tail.num_vertex_labels == 4
+
+    def test_average_degree(self, triangle_with_tail):
+        assert triangle_with_tail.average_degree() == pytest.approx(2.0)
+
+    def test_empty_graph(self):
+        g = LabeledGraph([], [])
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+        assert g.average_degree() == 0.0
+        assert g.num_vertex_labels == 0
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(GraphError):
+            LabeledGraph([0, 0], [(1, 1)])
+
+    def test_rejects_parallel_edge(self):
+        with pytest.raises(GraphError):
+            LabeledGraph([0, 0], [(0, 1), (1, 0)])
+
+    def test_rejects_out_of_range_edge(self):
+        with pytest.raises(GraphError):
+            LabeledGraph([0, 0], [(0, 5)])
+
+    def test_rejects_edge_label_mismatch(self):
+        with pytest.raises(GraphError):
+            LabeledGraph([0, 0], [(0, 1)], edge_labels=[1, 2])
+
+    def test_default_edge_labels_are_zero(self):
+        g = LabeledGraph([0, 0], [(0, 1)])
+        assert g.edge_label(0) == 0
+
+
+class TestAccessors:
+    def test_vertex_labels(self, triangle_with_tail):
+        assert triangle_with_tail.vertex_label(0) == 5
+        assert triangle_with_tail.vertex_labels == (5, 6, 7, 8)
+
+    def test_neighbors_sorted(self, triangle_with_tail):
+        assert triangle_with_tail.neighbors(2) == (0, 1, 3)
+
+    def test_neighbor_set(self, triangle_with_tail):
+        assert triangle_with_tail.neighbor_set(0) == frozenset({1, 2})
+
+    def test_degree(self, triangle_with_tail):
+        assert triangle_with_tail.degree(2) == 3
+        assert triangle_with_tail.degree(3) == 1
+
+    def test_adjacent(self, triangle_with_tail):
+        assert triangle_with_tail.adjacent(0, 1)
+        assert triangle_with_tail.adjacent(1, 0)
+        assert not triangle_with_tail.adjacent(0, 3)
+
+    def test_edge_endpoints_normalized(self, triangle_with_tail):
+        assert triangle_with_tail.edge_endpoints(3) == (2, 3)
+
+    def test_edge_id_symmetric(self, triangle_with_tail):
+        assert triangle_with_tail.edge_id(1, 2) == 1
+        assert triangle_with_tail.edge_id(2, 1) == 1
+
+    def test_edge_id_missing_raises(self, triangle_with_tail):
+        with pytest.raises(GraphError):
+            triangle_with_tail.edge_id(0, 3)
+
+    def test_edge_label(self, triangle_with_tail):
+        assert triangle_with_tail.edge_label(2) == 12
+        assert triangle_with_tail.edge_labels == (10, 11, 12, 13)
+
+    def test_incident_edges(self, triangle_with_tail):
+        assert triangle_with_tail.incident_edges(2) == (1, 2, 3)
+
+    def test_edge_other_endpoint(self, triangle_with_tail):
+        assert triangle_with_tail.edge_other_endpoint(3, 2) == 3
+        assert triangle_with_tail.edge_other_endpoint(3, 3) == 2
+
+    def test_edge_other_endpoint_rejects_non_endpoint(self, triangle_with_tail):
+        with pytest.raises(GraphError):
+            triangle_with_tail.edge_other_endpoint(3, 0)
+
+    def test_edge_iter(self, triangle_with_tail):
+        triples = list(triangle_with_tail.edge_iter())
+        assert triples[0] == (0, 0, 1)
+        assert len(triples) == 4
+
+
+class TestStructureHelpers:
+    def test_vertex_label_histogram(self):
+        g = LabeledGraph([1, 1, 2], [(0, 1), (1, 2)])
+        assert g.vertex_label_histogram() == {1: 2, 2: 1}
+
+    def test_induced_edge_ids(self, triangle_with_tail):
+        assert triangle_with_tail.induced_edge_ids([0, 1, 2]) == [0, 1, 2]
+        assert triangle_with_tail.induced_edge_ids([0, 3]) == []
+
+    def test_is_connected_vertex_set(self, triangle_with_tail):
+        assert triangle_with_tail.is_connected_vertex_set([0, 1, 2, 3])
+        assert not triangle_with_tail.is_connected_vertex_set([0, 3])
+        assert not triangle_with_tail.is_connected_vertex_set([])
+
+    def test_connected_components_single(self, triangle_with_tail):
+        assert triangle_with_tail.connected_components() == [[0, 1, 2, 3]]
+
+    def test_connected_components_multiple(self):
+        g = LabeledGraph([0] * 5, [(0, 1), (2, 3)])
+        assert g.connected_components() == [[0, 1], [2, 3], [4]]
+
+    def test_equality_and_hash(self):
+        g1 = LabeledGraph([1, 2], [(0, 1)], [3])
+        g2 = LabeledGraph([1, 2], [(0, 1)], [3], name="other")
+        g3 = LabeledGraph([1, 2], [(0, 1)], [4])
+        assert g1 == g2  # name excluded from identity
+        assert hash(g1) == hash(g2)
+        assert g1 != g3
+
+    def test_relabel_with_sequence(self, triangle_with_tail):
+        g = triangle_with_tail.relabel([0, 0, 0, 0])
+        assert g.vertex_labels == (0, 0, 0, 0)
+        assert g.num_edges == triangle_with_tail.num_edges
+
+    def test_relabel_with_mapping(self, triangle_with_tail):
+        g = triangle_with_tail.relabel({0: 99})
+        assert g.vertex_label(0) == 99
+        assert g.vertex_label(1) == 6
+
+    def test_relabel_rejects_bad_length(self, triangle_with_tail):
+        with pytest.raises(GraphError):
+            triangle_with_tail.relabel([0, 0])
+
+
+class TestNamedShapes:
+    def test_complete_graph(self):
+        g = complete_graph(5)
+        assert g.num_edges == 10
+        assert all(g.degree(v) == 4 for v in g.vertices())
+
+    def test_path_graph(self):
+        g = path_graph(4)
+        assert g.num_edges == 3
+        assert g.degree(0) == 1
+        assert g.degree(1) == 2
+
+    def test_cycle_graph(self):
+        g = cycle_graph(5)
+        assert g.num_edges == 5
+        assert all(g.degree(v) == 2 for v in g.vertices())
+
+    def test_cycle_rejects_small(self):
+        with pytest.raises(GraphError):
+            cycle_graph(2)
+
+    def test_star_graph(self):
+        g = star_graph(6)
+        assert g.num_vertices == 7
+        assert g.degree(0) == 6
+
+    def test_grid_graph(self):
+        g = grid_graph(3, 4)
+        assert g.num_vertices == 12
+        assert g.num_edges == 3 * 3 + 2 * 4
+
+    def test_graph_from_edges_infers_size(self):
+        g = graph_from_edges([(0, 3), (1, 2)])
+        assert g.num_vertices == 4
+
+    def test_graph_from_edges_rejects_short_labels(self):
+        with pytest.raises(GraphError):
+            graph_from_edges([(0, 3)], vertex_labels=[0])

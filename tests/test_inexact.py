@@ -1,0 +1,118 @@
+"""Tests for inexact (label-cost) matching."""
+
+import pytest
+
+from repro.apps import InexactMatching, min_completion_cost, unit_label_cost
+from repro.core import Pattern, run_computation
+from repro.graph import complete_graph, graph_from_edges, path_graph
+
+TRIANGLE_ABC = Pattern((1, 2, 3), ((0, 1, 0), (0, 2, 0), (1, 2, 0)))
+PATH_AB = Pattern((1, 2), ((0, 1, 0),))
+
+
+class TestUnitCost:
+    def test_match(self):
+        assert unit_label_cost(3, 3) == 0.0
+
+    def test_substitution(self):
+        assert unit_label_cost(3, 4) == 1.0
+
+
+class TestMinCompletionCost:
+    def test_exact_triangle_zero_cost(self):
+        g = graph_from_edges(
+            [(0, 1), (1, 2), (0, 2)], vertex_labels=[1, 2, 3]
+        )
+        cost = min_completion_cost(
+            TRIANGLE_ABC, g, frozenset({0, 1, 2}), 10.0, unit_label_cost
+        )
+        assert cost == 0.0
+
+    def test_label_substitutions_counted(self):
+        g = graph_from_edges(
+            [(0, 1), (1, 2), (0, 2)], vertex_labels=[1, 2, 9]
+        )
+        cost = min_completion_cost(
+            TRIANGLE_ABC, g, frozenset({0, 1, 2}), 10.0, unit_label_cost
+        )
+        assert cost == 1.0
+
+    def test_structure_mismatch_is_none(self):
+        g = path_graph(3)  # no triangle structure
+        cost = min_completion_cost(
+            TRIANGLE_ABC, g, frozenset({0, 1, 2}), 10.0, unit_label_cost
+        )
+        assert cost is None
+
+    def test_partial_members_lower_bound(self):
+        g = graph_from_edges([(0, 1), (1, 2), (0, 2)], vertex_labels=[9, 9, 9])
+        partial = min_completion_cost(
+            TRIANGLE_ABC, g, frozenset({0, 1}), 10.0, unit_label_cost
+        )
+        full = min_completion_cost(
+            TRIANGLE_ABC, g, frozenset({0, 1, 2}), 10.0, unit_label_cost
+        )
+        assert partial is not None and full is not None
+        assert partial <= full  # anti-monotone lower bound
+
+    def test_budget_prunes(self):
+        g = graph_from_edges([(0, 1), (1, 2), (0, 2)], vertex_labels=[9, 9, 9])
+        cost = min_completion_cost(
+            TRIANGLE_ABC, g, frozenset({0, 1, 2}), 1.0, unit_label_cost
+        )
+        assert cost is None  # needs 3 substitutions, budget 1
+
+    def test_oversized_member_set(self):
+        g = complete_graph(4)
+        assert (
+            min_completion_cost(PATH_AB, g, frozenset({0, 1, 2}), 5.0, unit_label_cost)
+            is None
+        )
+
+
+class TestInexactMatching:
+    def _labeled_triangles(self):
+        # Two triangles: one exact (1,2,3), one off by one label (1,2,9).
+        return graph_from_edges(
+            [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)],
+            vertex_labels=[1, 2, 3, 1, 2, 9],
+        )
+
+    def test_budget_zero_finds_exact_only(self):
+        g = self._labeled_triangles()
+        result = run_computation(g, InexactMatching(TRIANGLE_ABC, budget=0.0))
+        assert [(m, c) for m, c in result.outputs] == [((0, 1, 2), 0.0)]
+
+    def test_budget_one_finds_both(self):
+        g = self._labeled_triangles()
+        result = run_computation(g, InexactMatching(TRIANGLE_ABC, budget=1.0))
+        found = {m: c for m, c in result.outputs}
+        assert found == {(0, 1, 2): 0.0, (3, 4, 5): 1.0}
+
+    def test_structure_still_required(self):
+        # A labeled path (1,2,3) is not a triangle at any budget.
+        g = graph_from_edges([(0, 1), (1, 2)], vertex_labels=[1, 2, 3])
+        result = run_computation(g, InexactMatching(TRIANGLE_ABC, budget=99.0))
+        assert result.outputs == []
+
+    def test_custom_cost_function(self):
+        def cheap_swap(expected, actual):
+            return 0.25 if expected != actual else 0.0
+
+        g = self._labeled_triangles()
+        result = run_computation(
+            g, InexactMatching(TRIANGLE_ABC, budget=0.25, cost_fn=cheap_swap)
+        )
+        assert {m for m, _ in result.outputs} == {(0, 1, 2), (3, 4, 5)}
+
+    def test_each_match_once(self):
+        g = complete_graph(4).relabel([1, 2, 3, 1])
+        result = run_computation(g, InexactMatching(TRIANGLE_ABC, budget=2.0))
+        members = [m for m, _ in result.outputs]
+        assert len(members) == len(set(members)) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InexactMatching(Pattern((), ()), 1.0)
+        with pytest.raises(ValueError):
+            InexactMatching(TRIANGLE_ABC, -1.0)

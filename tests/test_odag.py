@@ -1,0 +1,232 @@
+"""Tests for the ODAG data structure: faithfulness, overapproximation,
+compression, merging, and rank-range extraction."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Odag
+from repro.core.odag import Odag as OdagDirect
+
+
+def build_odag(size, embeddings):
+    odag = Odag(size)
+    for words in embeddings:
+        odag.add(words)
+    return odag
+
+
+PAPER_EMBEDDINGS = [
+    (1, 4, 2),
+    (1, 4, 3),
+    (1, 4, 5),
+    (2, 3, 4),
+    (2, 4, 5),
+    (3, 4, 5),
+]
+"""The canonical embeddings of the paper's Figure 5."""
+
+
+class TestConstruction:
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            Odag(0)
+
+    def test_add_validates_length(self):
+        odag = Odag(3)
+        with pytest.raises(ValueError):
+            odag.add((1, 2))
+
+    def test_counts(self):
+        odag = build_odag(3, PAPER_EMBEDDINGS)
+        assert odag.num_added == 6
+        assert odag.level_sizes() == (3, 2, 4)  # {1,2,3}, {3,4}, {2,3,4,5}
+
+    def test_empty(self):
+        assert Odag(2).is_empty()
+        assert not build_odag(1, [(5,)]).is_empty()
+
+
+class TestExtraction:
+    def test_roundtrip_includes_all_added(self):
+        odag = build_odag(3, PAPER_EMBEDDINGS)
+        extracted = set(odag.extract())
+        assert set(PAPER_EMBEDDINGS) <= extracted
+
+    def test_paper_spurious_path(self):
+        """Figure 6: the ODAG also encodes <3, 4, 2>, which was never added."""
+        odag = build_odag(3, PAPER_EMBEDDINGS)
+        extracted = set(odag.extract())
+        assert (3, 4, 2) in extracted
+        assert extracted > set(PAPER_EMBEDDINGS)
+
+    def test_prefix_filter_recovers_exact_set(self):
+        original = set(PAPER_EMBEDDINGS)
+        odag = build_odag(3, PAPER_EMBEDDINGS)
+
+        def prefix_ok(words):
+            # Membership oracle standing in for canonicality + φ.
+            return any(candidate[: len(words)] == words for candidate in original)
+
+        assert set(odag.extract(prefix_ok)) == original
+
+    def test_prefix_filter_sees_every_prefix(self):
+        odag = build_odag(3, [(0, 1, 2)])
+        seen = []
+
+        def record(words):
+            seen.append(words)
+            return True
+
+        list(odag.extract(record))
+        assert seen == [(0,), (0, 1), (0, 1, 2)]
+
+    def test_extraction_rank_order_is_sorted(self):
+        odag = build_odag(3, PAPER_EMBEDDINGS)
+        extracted = list(odag.extract())
+        assert extracted == sorted(extracted)
+
+    def test_single_level_odag(self):
+        odag = build_odag(1, [(3,), (1,), (2,)])
+        assert list(odag.extract()) == [(1,), (2,), (3,)]
+        assert odag.total_paths() == 3
+
+
+class TestPathCounting:
+    def test_total_paths_overapproximates(self):
+        odag = build_odag(3, PAPER_EMBEDDINGS)
+        assert odag.total_paths() >= len(PAPER_EMBEDDINGS)
+        # total_paths counts every path (even word-repeating ones, which
+        # extraction drops), so it upper-bounds the extractable set.
+        assert odag.total_paths() >= len(list(odag.extract()))
+
+    def test_word_repeating_paths_are_skipped(self):
+        # Figure 5's ODAG encodes the path <3, 4, 3>: same word twice.
+        odag = build_odag(3, PAPER_EMBEDDINGS)
+        for words in odag.extract():
+            assert len(set(words)) == len(words)
+
+    def test_path_count_per_element(self):
+        odag = build_odag(3, PAPER_EMBEDDINGS)
+        # From vertex 4 at level 1 every level-2 successor is reachable.
+        assert odag.path_count(1, 4) == len({2, 3, 5})
+        assert odag.path_count(2, 5) == 1
+
+
+class TestRangeExtraction:
+    def test_ranges_partition_everything(self):
+        odag = build_odag(3, PAPER_EMBEDDINGS)
+        total = odag.total_paths()
+        for workers in (1, 2, 3, 4, 7):
+            pieces = []
+            for w in range(workers):
+                start = total * w // workers
+                end = total * (w + 1) // workers
+                pieces.extend(odag.extract_range(start, end))
+            assert pieces == list(odag.extract())
+
+    def test_empty_range(self):
+        odag = build_odag(3, PAPER_EMBEDDINGS)
+        assert list(odag.extract_range(2, 2)) == []
+
+    def test_range_respects_filter(self):
+        original = set(PAPER_EMBEDDINGS)
+        odag = build_odag(3, PAPER_EMBEDDINGS)
+
+        def prefix_ok(words):
+            return any(c[: len(words)] == words for c in original)
+
+        total = odag.total_paths()
+        collected = set()
+        for w in range(3):
+            collected.update(
+                odag.extract_range(total * w // 3, total * (w + 1) // 3, prefix_ok)
+            )
+        assert collected == original
+
+
+class TestMerge:
+    def test_merge_unions_embeddings(self):
+        left = build_odag(3, PAPER_EMBEDDINGS[:3])
+        right = build_odag(3, PAPER_EMBEDDINGS[3:])
+        left.merge(right)
+        assert set(PAPER_EMBEDDINGS) <= set(left.extract())
+        assert left.num_added == 6
+
+    def test_merge_size_mismatch(self):
+        with pytest.raises(ValueError):
+            Odag(2).merge(Odag(3))
+
+    def test_entries_roundtrip(self):
+        source = build_odag(3, PAPER_EMBEDDINGS)
+        rebuilt = Odag(3)
+        for level, word, successors in source.entries():
+            rebuilt.merge_entry(level, word, successors)
+        assert list(rebuilt.extract()) == list(source.extract())
+
+    def test_paper_merge_example(self):
+        """Section 5.2: one worker explored <2,3>, another <2,4> — merging
+        must union the entries for element 2 of the first array."""
+        a = build_odag(2, [(2, 3)])
+        b = build_odag(2, [(2, 4)])
+        a.merge(b)
+        assert set(a.extract()) == {(2, 3), (2, 4)}
+
+
+class TestCompression:
+    def test_wire_size_beats_lists_on_dense_sets(self):
+        """Store all k-subsets of a clique: N^k embeddings vs O(k N^2) ODAG."""
+        n, k = 12, 3
+        embeddings = [
+            words for words in itertools.combinations(range(n), k)
+        ]
+        odag = build_odag(k, embeddings)
+        list_bytes = sum(4 + 4 * k for _ in embeddings)
+        assert odag.wire_size() < list_bytes
+
+    def test_wire_size_grows_with_content(self):
+        small = build_odag(2, [(0, 1)])
+        large = build_odag(2, [(0, 1), (1, 2), (2, 3), (0, 3)])
+        assert large.wire_size() > small.wire_size()
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=50, deadline=None)
+def test_property_roundtrip_with_membership_filter(seed):
+    """extract(membership filter) == stored set, for random word sets."""
+    rng = random.Random(seed)
+    size = rng.randint(1, 4)
+    population = range(10)
+    embeddings = set()
+    for _ in range(rng.randint(1, 20)):
+        words = tuple(rng.sample(population, size))
+        embeddings.add(words)
+    odag = build_odag(size, sorted(embeddings))
+
+    def member_prefix(words):
+        return any(c[: len(words)] == words for c in embeddings)
+
+    assert set(odag.extract(member_prefix)) == embeddings
+
+
+@given(seed=st.integers(0, 10_000), workers=st.integers(1, 6))
+@settings(max_examples=50, deadline=None)
+def test_property_range_partition_is_exact(seed, workers):
+    """Worker rank ranges partition the path space with no dup or loss."""
+    rng = random.Random(seed)
+    size = rng.randint(1, 4)
+    embeddings = {
+        tuple(rng.sample(range(8), size)) for _ in range(rng.randint(1, 15))
+    }
+    odag = build_odag(size, sorted(embeddings))
+    total = odag.total_paths()
+    pieces = []
+    for w in range(workers):
+        pieces.extend(
+            odag.extract_range(total * w // workers, total * (w + 1) // workers)
+        )
+    everything = list(odag.extract())
+    assert pieces == everything
+    assert len(set(pieces)) == len(pieces)

@@ -1,0 +1,94 @@
+"""Tests for the load-balancing analysis utilities (section 5.3)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    OdagStore,
+    Pattern,
+    PartitionReport,
+    block_round_robin_assignment,
+    measure_partition,
+)
+
+UNLABELED_P3 = Pattern((0, 0, 0), ((0, 1, 0), (1, 2, 0)))
+
+
+def random_store(seed: int, size: int = 3, universe: int = 20) -> OdagStore:
+    rng = random.Random(seed)
+    store = OdagStore()
+    for _ in range(rng.randint(1, 60)):
+        store.add(UNLABELED_P3, tuple(rng.sample(range(universe), size)))
+    return store
+
+
+class TestPartitionReport:
+    def test_totals(self):
+        report = PartitionReport(num_workers=3, shares=(4, 5, 3))
+        assert report.total == 12
+        assert report.max_share == 5
+
+    def test_imbalance(self):
+        report = PartitionReport(num_workers=2, shares=(9, 3))
+        assert report.imbalance() == pytest.approx(9 / 6)
+
+    def test_imbalance_empty(self):
+        assert PartitionReport(num_workers=2, shares=(0, 0)).imbalance() == 1.0
+        assert PartitionReport(num_workers=0, shares=()).imbalance() == 1.0
+
+
+class TestMeasurePartition:
+    def test_shares_cover_store(self):
+        store = random_store(1)
+        report = measure_partition(store, 4)
+        assert report.total == sum(
+            1 for _ in store.extract_partition(0, 1)
+        )
+
+    def test_single_worker_gets_everything(self):
+        store = random_store(2)
+        report = measure_partition(store, 1)
+        assert report.shares == (report.total,)
+
+    def test_balance_reasonable(self):
+        store = random_store(3)
+        report = measure_partition(store, 4)
+        if report.total >= 8:
+            assert report.imbalance() < 2.5
+
+
+class TestBlockRoundRobin:
+    def test_assignment_pattern(self):
+        owners = block_round_robin_assignment(total=8, num_workers=2, block=2)
+        assert owners == [0, 0, 1, 1, 0, 0, 1, 1]
+
+    def test_block_one_is_pure_round_robin(self):
+        owners = block_round_robin_assignment(total=5, num_workers=3, block=1)
+        assert owners == [0, 1, 2, 0, 1]
+
+    def test_rejects_bad_block(self):
+        with pytest.raises(ValueError):
+            block_round_robin_assignment(4, 2, block=0)
+
+    def test_every_index_owned(self):
+        owners = block_round_robin_assignment(total=100, num_workers=7, block=4)
+        assert len(owners) == 100
+        assert set(owners) <= set(range(7))
+
+    def test_blocks_spread_evenly(self):
+        owners = block_round_robin_assignment(total=700, num_workers=7, block=10)
+        counts = [owners.count(w) for w in range(7)]
+        assert max(counts) - min(counts) <= 10  # at most one block apart
+
+
+@given(seed=st.integers(0, 2000), workers=st.integers(1, 6))
+@settings(max_examples=40, deadline=None)
+def test_property_partition_exact_on_random_stores(seed, workers):
+    """measure_partition validates the no-loss/no-dup invariant by summing
+    per-worker extraction counts against the full extraction."""
+    store = random_store(seed)
+    report = measure_partition(store, workers)
+    full = sum(1 for _ in store.extract_partition(0, 1))
+    assert report.total == full

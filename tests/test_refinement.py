@@ -1,0 +1,86 @@
+"""Tests for color refinement (1-WL)."""
+
+from repro.isomorphism import (
+    color_classes,
+    individualize,
+    initial_coloring,
+    is_discrete,
+    refine_coloring,
+)
+from repro.isomorphism.canonical_label import build_adjacency
+
+
+def adjacency_of(n, edges):
+    return build_adjacency(n, {tuple(sorted(e)): 0 for e in edges})
+
+
+class TestInitialColoring:
+    def test_groups_by_label(self):
+        assert initial_coloring([5, 3, 5, 3]) == [1, 0, 1, 0]
+
+    def test_single_label(self):
+        assert initial_coloring([7, 7, 7]) == [0, 0, 0]
+
+    def test_empty(self):
+        assert initial_coloring([]) == []
+
+
+class TestRefine:
+    def test_path_distinguishes_ends(self):
+        # P3: ends (degree 1) split from the middle (degree 2).
+        adj = adjacency_of(3, [(0, 1), (1, 2)])
+        refined = refine_coloring(adj, [0, 0, 0])
+        assert refined[0] == refined[2]
+        assert refined[1] != refined[0]
+
+    def test_regular_graph_stays_uniform(self):
+        # C4 is vertex-transitive: refinement cannot split it.
+        adj = adjacency_of(4, [(0, 1), (1, 2), (2, 3), (0, 3)])
+        refined = refine_coloring(adj, [0, 0, 0, 0])
+        assert len(set(refined)) == 1
+
+    def test_respects_initial_colors(self):
+        adj = adjacency_of(4, [(0, 1), (1, 2), (2, 3), (0, 3)])
+        refined = refine_coloring(adj, [0, 1, 0, 1])
+        assert refined[0] == refined[2]
+        assert refined[1] == refined[3]
+        assert refined[0] != refined[1]
+
+    def test_edge_labels_split(self):
+        # Same topology (P3) but distinct edge labels break the symmetry.
+        adj = build_adjacency(3, {(0, 1): 7, (1, 2): 8})
+        refined = refine_coloring(adj, [0, 0, 0])
+        assert refined[0] != refined[2]
+
+    def test_star_two_levels(self):
+        adj = adjacency_of(4, [(0, 1), (0, 2), (0, 3)])
+        refined = refine_coloring(adj, [0, 0, 0, 0])
+        assert refined[1] == refined[2] == refined[3]
+        assert refined[0] != refined[1]
+
+    def test_propagation_needs_iterations(self):
+        # P5: iterative refinement separates distance-to-end classes.
+        adj = adjacency_of(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        refined = refine_coloring(adj, [0] * 5)
+        assert refined[0] == refined[4]
+        assert refined[1] == refined[3]
+        assert len({refined[0], refined[1], refined[2]}) == 3
+
+
+class TestHelpers:
+    def test_color_classes_sorted(self):
+        assert color_classes([1, 0, 1]) == [[1], [0, 2]]
+
+    def test_is_discrete(self):
+        assert is_discrete([2, 0, 1])
+        assert not is_discrete([0, 0, 1])
+
+    def test_individualize_splits_before_class(self):
+        result = individualize([0, 0, 0], 1)
+        assert result[1] == 0
+        assert result[0] == result[2] == 1
+
+    def test_individualize_shifts_higher_colors(self):
+        result = individualize([0, 1, 1, 2], 2)
+        # vertex 2 keeps color 1; old color-1 peer and color-2 shift up.
+        assert result == [0, 2, 1, 3]

@@ -1,0 +1,109 @@
+"""Tests for the VF2-style subgraph isomorphism matcher."""
+
+from repro.graph import complete_graph, cycle_graph, graph_from_edges, path_graph
+from repro.isomorphism import SubgraphMatcher, distinct_embeddings, find_isomorphisms
+
+TRIANGLE = ([0, 0, 0], {(0, 1): 0, (1, 2): 0, (0, 2): 0})
+EDGE = ([0, 0], {(0, 1): 0})
+PATH3 = ([0, 0, 0], {(0, 1): 0, (1, 2): 0})
+
+
+class TestBasicMatching:
+    def test_edge_in_triangle(self):
+        g = complete_graph(3)
+        # Each of the 3 edges in 2 orientations.
+        assert len(find_isomorphisms(*EDGE, g)) == 6
+
+    def test_triangle_count_in_k4(self):
+        g = complete_graph(4)
+        matches = find_isomorphisms(*TRIANGLE, g)
+        assert len(matches) == 4 * 6  # 4 triangles x 6 automorphisms
+
+    def test_distinct_embeddings_dedupes(self):
+        g = complete_graph(4)
+        assert len(distinct_embeddings(*TRIANGLE, g)) == 4
+
+    def test_no_triangle_in_path(self):
+        g = path_graph(5)
+        assert find_isomorphisms(*TRIANGLE, g) == []
+
+    def test_empty_pattern_matches_once(self):
+        g = path_graph(3)
+        assert find_isomorphisms([], {}, g) == [()]
+
+    def test_mapping_positions_follow_pattern_ids(self):
+        g = graph_from_edges([(0, 1), (1, 2)])
+        for mapping in find_isomorphisms(*PATH3, g):
+            # pattern vertex 1 is the middle: must map to graph vertex 1.
+            assert mapping[1] == 1
+
+
+class TestLabels:
+    def test_vertex_labels_restrict(self):
+        g = graph_from_edges([(0, 1), (1, 2)], vertex_labels=[1, 2, 1])
+        pattern = ([1, 2], {(0, 1): 0})
+        matches = find_isomorphisms(*pattern, g)
+        assert sorted(matches) == [(0, 1), (2, 1)]
+
+    def test_edge_labels_restrict(self):
+        g = graph_from_edges([(0, 1), (1, 2)], edge_labels=[7, 8])
+        pattern = ([0, 0], {(0, 1): 7})
+        matches = find_isomorphisms(*pattern, g)
+        assert sorted(matches) == [(0, 1), (1, 0)]
+
+    def test_label_mismatch_no_matches(self):
+        g = graph_from_edges([(0, 1)], vertex_labels=[1, 1])
+        pattern = ([2, 2], {(0, 1): 0})
+        assert find_isomorphisms(*pattern, g) == []
+
+
+class TestInducedSemantics:
+    def test_induced_path_not_in_triangle(self):
+        # P3 occurs in K3 as a monomorphism, but not as induced subgraph.
+        g = complete_graph(3)
+        assert len(find_isomorphisms(*PATH3, g, induced=False)) == 6
+        assert find_isomorphisms(*PATH3, g, induced=True) == []
+
+    def test_induced_path_in_c4(self):
+        g = cycle_graph(4)
+        assert len(distinct_embeddings(*PATH3, g, induced=True)) == 4
+
+    def test_induced_counts_on_c5(self):
+        g = cycle_graph(5)
+        # Every vertex is the middle of exactly one induced P3.
+        assert len(distinct_embeddings(*PATH3, g, induced=True)) == 5
+
+
+class TestMatcherApi:
+    def test_count_with_limit(self):
+        matcher = SubgraphMatcher(*EDGE, complete_graph(5))
+        assert matcher.count(limit=3) == 3
+
+    def test_count_unlimited(self):
+        matcher = SubgraphMatcher(*EDGE, complete_graph(5))
+        assert matcher.count() == 20
+
+    def test_exists_true(self):
+        assert SubgraphMatcher(*TRIANGLE, complete_graph(3)).exists()
+
+    def test_exists_false(self):
+        assert not SubgraphMatcher(*TRIANGLE, path_graph(4)).exists()
+
+    def test_limit_in_find(self):
+        assert len(find_isomorphisms(*EDGE, complete_graph(5), limit=7)) == 7
+
+
+class TestDisconnectedPattern:
+    def test_two_isolated_vertices(self):
+        pattern = ([0, 0], {})
+        g = path_graph(3)
+        matches = find_isomorphisms(*pattern, g)
+        assert len(matches) == 6  # ordered pairs of distinct vertices
+
+    def test_two_disjoint_edges_induced(self):
+        pattern = ([0, 0, 0, 0], {(0, 1): 0, (2, 3): 0})
+        # P4's only 4-vertex choice includes the middle edge -> not induced.
+        assert distinct_embeddings(*pattern, path_graph(4), induced=True) == set()
+        # P5 has exactly one independent edge pair at distance >= 2.
+        sets = distinct_embeddings(*pattern, path_graph(5), induced=True)
+        assert sets == {frozenset({0, 1, 3, 4})}
