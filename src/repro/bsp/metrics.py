@@ -34,6 +34,24 @@ class SuperstepMetrics:
         """Accumulate wall time attributed to a named phase."""
         self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + seconds
 
+    def absorb_worker(
+        self,
+        worker_id: int,
+        work_units: float,
+        phase_seconds: dict[str, float] | None = None,
+    ) -> None:
+        """Fold one worker task's metering delta into this superstep.
+
+        Worker tasks (see :mod:`repro.runtime.tasks`) meter themselves into
+        plain numbers and dicts; the engine calls this at the step barrier.
+        Phase times sum across workers, i.e. they are aggregate CPU seconds
+        spent in each phase, not critical-path time.
+        """
+        self.add_work(worker_id, work_units)
+        if phase_seconds:
+            for phase, seconds in phase_seconds.items():
+                self.add_phase_time(phase, seconds)
+
     @property
     def total_work(self) -> float:
         """Sum of work units across workers."""

@@ -10,7 +10,13 @@ from .canonical import (
     is_canonical_vertex_words,
 )
 from .computation import Computation, ComputationContext
-from .config import ArabesqueConfig
+from .config import (
+    ArabesqueConfig,
+    BACKENDS,
+    PROCESS_BACKEND,
+    SERIAL_BACKEND,
+    THREAD_BACKEND,
+)
 from .embedding import (
     EDGE_EXPLORATION,
     VERTEX_EXPLORATION,
@@ -24,7 +30,7 @@ from .extension import edge_extensions, extensions, initial_candidates, vertex_e
 from .odag import Odag
 from .partition import PartitionReport, block_round_robin_assignment, measure_partition
 from .pattern import Pattern, PatternCanonicalizer, canonicalize_pattern, pattern_orbits
-from .results import RunResult, StepStats
+from .results import RunResult, StepStats, WorkerDelta
 from .storage import (
     ADAPTIVE_STORAGE,
     LIST_STORAGE,
@@ -39,6 +45,7 @@ __all__ = [
     "AggregationChannel",
     "ArabesqueConfig",
     "ArabesqueEngine",
+    "BACKENDS",
     "Computation",
     "ComputationContext",
     "EDGE_EXPLORATION",
@@ -52,13 +59,17 @@ __all__ = [
     "ODAG_STORAGE",
     "Odag",
     "OdagStore",
+    "PROCESS_BACKEND",
     "PartitionReport",
     "Pattern",
     "PatternCanonicalizer",
     "RunResult",
+    "SERIAL_BACKEND",
     "StepStats",
+    "THREAD_BACKEND",
     "VERTEX_EXPLORATION",
     "VertexInducedEmbedding",
+    "WorkerDelta",
     "block_round_robin_assignment",
     "canonicalize_edge_set",
     "canonicalize_pattern",

@@ -59,6 +59,7 @@ class AggregationChannel:
         self.persistent = persistent
         self._published: dict[Hashable, Any] = {}
         self._accumulated: dict[Hashable, Any] = {}
+        self._latest: dict[Hashable, Any] = {}
 
     def read(self, key: Hashable) -> Any:
         """Value published for ``key`` by the previous step (None if absent)."""
@@ -80,6 +81,21 @@ class AggregationChannel:
                     self._accumulated[key] = value
         else:
             self._published = merged
+            self._latest.update(merged)
+
+    def latest(self) -> dict[Hashable, Any]:
+        """Per-key value from the *last step that produced the key*.
+
+        Non-persistent channels replace their published values wholesale at
+        every step barrier, so a key mapped at step i and never again is
+        invisible to ``readAggregate`` from step i+2 on — but its step-i
+        value is still the key's final channel state for the run.  This view
+        keeps exactly that: each key maps to the merged value of the most
+        recent step that produced it, never reduced *across* steps (which
+        would violate per-step channel semantics).  It is what
+        :attr:`~repro.core.results.RunResult.final_aggregates` reports.
+        """
+        return dict(self._latest)
 
     def finalize(self) -> dict[Hashable, Any]:
         """Final values of a persistent channel (empty for per-step ones)."""
@@ -87,14 +103,21 @@ class AggregationChannel:
 
 
 class LocalAggregation:
-    """One worker's map-side buffer for one channel during one step."""
+    """One worker's map-side buffer for one channel during one step.
+
+    Accepts either the :class:`AggregationChannel` itself or just its reduce
+    function — worker tasks run without any reference to global channel
+    state (see :mod:`repro.runtime.tasks`), so they pass the bare reducer.
+    """
 
     def __init__(
         self,
-        channel: AggregationChannel,
+        channel: AggregationChannel | ReduceFn,
         canonicalizer: PatternCanonicalizer,
     ) -> None:
-        self._channel = channel
+        self._reduce_fn: ReduceFn = (
+            channel.reduce_fn if isinstance(channel, AggregationChannel) else channel
+        )
         self._canonicalizer = canonicalizer
         self._buffer: dict[Hashable, list] = {}
 
@@ -118,7 +141,7 @@ class LocalAggregation:
         once each and their reduced value remapped — the whole point of
         two-level aggregation (Table 4's reduction factor).
         """
-        reduce_fn = self._channel.reduce_fn
+        reduce_fn = self._reduce_fn
         partials: dict[Hashable, Any] = {}
         for key, values in self._buffer.items():
             reduced = reduce_fn(key, values) if len(values) > 1 else values[0]

@@ -14,6 +14,14 @@ the test suite checks for the bundled applications:
   for automorphic embeddings;
 * **anti-monotonicity** of ``filter`` and ``aggregation_filter`` — once an
   embedding is rejected, all of its extensions would be rejected too.
+
+Because the execution runtime (:mod:`repro.runtime`) may run worker step
+tasks on threads or separate processes, user functions should not rely on
+mutating instance state to communicate between embeddings — use ``map``/
+``map_output`` for cross-embedding state.  Internal memo caches keyed by
+deterministic values (as in :class:`repro.apps.matching.GraphMatching`)
+are fine: they only trade recomputation for memory.  For the process
+backend, the computation and its aggregation values must be picklable.
 """
 
 from __future__ import annotations
@@ -28,8 +36,11 @@ from .pattern import Pattern
 class ComputationContext:
     """Engine-side callbacks the framework functions delegate to.
 
-    Bound to the computation once per worker turn; user code never
-    constructs one.
+    Bound to the computation once per worker step task; user code never
+    constructs one.  The execution runtime binds each task's context to a
+    *shallow copy* of the computation (see
+    :func:`repro.runtime.tasks.run_step_task`), so concurrent tasks — on
+    threads or processes — never share a binding.
     """
 
     def output(self, value: Any) -> None:
@@ -147,5 +158,9 @@ class Computation:
         return self._context
 
     def bind_context(self, context: ComputationContext | None) -> None:
-        """Engine hook: attach/detach the per-worker context."""
+        """Runtime hook: attach/detach one step task's context.
+
+        Called on the task's shallow copy of the computation, never on the
+        engine's template instance — each concurrent task owns its binding.
+        """
         self._context = context

@@ -7,6 +7,12 @@ from dataclasses import dataclass, field
 from ..bsp.cost_model import CostModel
 from .storage import ADAPTIVE_STORAGE, LIST_STORAGE, ODAG_STORAGE
 
+#: Execution-backend configuration values (see :mod:`repro.runtime`).
+SERIAL_BACKEND = "serial"
+THREAD_BACKEND = "thread"
+PROCESS_BACKEND = "process"
+BACKENDS = (SERIAL_BACKEND, THREAD_BACKEND, PROCESS_BACKEND)
+
 
 @dataclass
 class ArabesqueConfig:
@@ -18,10 +24,22 @@ class ArabesqueConfig:
     simulated-scalability sweeps (``num_workers``).
     """
 
-    #: Logical workers the exploration is partitioned over.  Workers run
-    #: sequentially in-process; distribution is simulated (DESIGN.md,
-    #: substitution 1).
+    #: Logical workers the exploration is partitioned over.  The partition
+    #: is identical for every backend; what changes is whether the workers'
+    #: step tasks run sequentially or truly in parallel (``backend``).
     num_workers: int = 1
+    #: Execution backend running the per-worker step tasks: ``"serial"``
+    #: (one in-process loop, the default), ``"thread"`` (a thread pool —
+    #: correct everywhere, but CPU-bound speedup only on GIL-free builds),
+    #: or ``"process"`` (multiprocessing with per-worker chunking — real
+    #: multi-core speedup; requires a picklable Computation).  Results are
+    #: identical across backends by construction.
+    backend: str = SERIAL_BACKEND
+    #: Process-backend pool size; ``None`` means
+    #: ``min(num_workers, max(cpu_count, 2))`` — capped at the CPU count,
+    #: but never below 2 processes so multi-worker runs overlap compute
+    #: with the engine-side merge even on small machines.
+    backend_processes: int | None = None
     #: ``"odag"`` (paper default), ``"list"`` (Figure 10 ablation), or
     #: ``"adaptive"`` — ship whichever format is smaller per step
     #: (section 6.3's sparse-graph fallback, used by the paper's
@@ -49,5 +67,11 @@ class ArabesqueConfig:
             raise ValueError("num_workers must be >= 1")
         if self.storage not in (ODAG_STORAGE, LIST_STORAGE, ADAPTIVE_STORAGE):
             raise ValueError(f"unknown storage mode {self.storage!r}")
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r} (choose from {BACKENDS})"
+            )
+        if self.backend_processes is not None and self.backend_processes < 1:
+            raise ValueError("backend_processes must be >= 1 when given")
         if self.max_exploration_steps < 1:
             raise ValueError("max_exploration_steps must be >= 1")

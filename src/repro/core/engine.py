@@ -14,16 +14,21 @@ Each *exploration step* performs, per logical worker:
 6. **write (W)** — survivors (minus termination-filtered ones) go to the
    worker-local store under their canonical pattern.
 
+The per-worker work is packaged as a **pure step task**
+(:func:`repro.runtime.tasks.run_step_task`): an immutable
+:class:`~repro.runtime.tasks.StepContext` in, a mergeable
+:class:`~repro.core.results.WorkerDelta` out, no shared mutable state during
+the pass.  A pluggable :class:`~repro.runtime.ExecutionBackend` decides how
+the tasks run — sequentially (default), on threads, or on OS processes for
+real multi-core speedup — while the engine's delta merge (always in
+worker-id order) keeps results byte-identical across backends and worker
+counts, a property the test suite checks explicitly.
+
 After all workers finish, the engine simulates the communication rounds of
 the real system and meters them (DESIGN.md, substitution 1): the
 aggregation shuffle (one message per reduced key), the per-array-entry ODAG
 merge shuffle, and the broadcast of the merged global store.  The run
 terminates when a step stores nothing (set F empty).
-
-Workers execute sequentially and deterministically; changing
-``num_workers`` changes the metered distribution (and thus the simulated
-makespan) but never the explored set or the outputs — a property the test
-suite checks explicitly.
 """
 
 from __future__ import annotations
@@ -31,17 +36,18 @@ from __future__ import annotations
 import time
 from typing import Any, Hashable
 
+from typing import TYPE_CHECKING
+
 from ..bsp.messages import estimate_size
 from ..bsp.metrics import RunMetrics, SuperstepMetrics
 from ..graph import LabeledGraph
-from .aggregation import AggregationChannel, LocalAggregation, merge_partials
-from .canonical import extension_checker, full_checker
-from .computation import Computation, ComputationContext
+from .aggregation import AggregationChannel, merge_partials
+from .computation import Computation
 from .config import ArabesqueConfig
-from .embedding import make_embedding
-from .extension import extensions, initial_candidates
-from .pattern import Pattern, PatternCanonicalizer
-from .results import RunResult, StepStats
+from .embedding import EDGE_EXPLORATION, VERTEX_EXPLORATION
+from .extension import initial_candidates
+from .pattern import PatternCanonicalizer
+from .results import RunResult, StepStats, WorkerDelta
 from .storage import (
     ADAPTIVE_STORAGE,
     LIST_STORAGE,
@@ -49,6 +55,9 @@ from .storage import (
     ListStore,
     OdagStore,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard; see run()
+    from ..runtime import ExecutionBackend, StepContext
 
 AGGREGATE_CHANNEL = "aggregate"
 OUTPUT_CHANNEL = "output"
@@ -58,73 +67,103 @@ class ExplorationError(RuntimeError):
     """Raised when exploration exceeds the configured step bound."""
 
 
-class _TurnContext(ComputationContext):
-    """Framework functions bound while one worker processes one step."""
-
-    def __init__(
-        self,
-        result: RunResult,
-        config: ArabesqueConfig,
-        local_agg: LocalAggregation,
-        local_out: LocalAggregation,
-        agg_channel: AggregationChannel,
-        canonicalizer: PatternCanonicalizer,
-    ) -> None:
-        self._result = result
-        self._config = config
-        self._local_agg = local_agg
-        self._local_out = local_out
-        self._agg_channel = agg_channel
-        self._canonicalizer = canonicalizer
-
-    def output(self, value: Any) -> None:
-        self._result.num_outputs += 1
-        if self._config.collect_outputs:
-            limit = self._config.output_limit
-            if limit is None or len(self._result.outputs) < limit:
-                self._result.outputs.append(value)
-
-    def map(self, key: Hashable, value: Any) -> None:
-        self._local_agg.map(key, value)
-
-    def map_output(self, key: Hashable, value: Any) -> None:
-        self._local_out.map(key, value)
-
-    def read_aggregate(self, key: Hashable) -> Any:
-        if isinstance(key, Pattern):
-            key = self._canonicalizer.canonicalize(key)[0]
-        return self._agg_channel.read(key)
-
-
 class ArabesqueEngine:
-    """Runs one :class:`~repro.core.computation.Computation` on one graph."""
+    """Runs one :class:`~repro.core.computation.Computation` on one graph.
+
+    ``backend`` overrides the backend that ``config.backend`` would select
+    (useful for injecting a tuned/instrumented backend); when the engine
+    builds the backend itself it also closes it when the run finishes.
+    """
 
     def __init__(
         self,
         graph: LabeledGraph,
         computation: Computation,
         config: ArabesqueConfig | None = None,
+        backend: ExecutionBackend | None = None,
     ) -> None:
         self.graph = graph
         self.computation = computation
         self.config = config or ArabesqueConfig()
         self._mode = computation.exploration_mode
-        if self.config.incremental_canonicality:
-            self._check_extension = extension_checker(self._mode)
-        else:
-            full = full_checker(self._mode)
+        if self._mode not in (VERTEX_EXPLORATION, EDGE_EXPLORATION):
+            raise ValueError(f"unknown exploration mode {self._mode!r}")
+        self._backend = backend
+        #: Expansion of the "undefined" embedding, computed once per engine
+        #: (step 0 used to rebuild it per worker; see bench note in
+        #: benchmarks/_harness.py).
+        self._universe: tuple[int, ...] | None = None
 
-            def from_scratch(graph, parent_words, word):
-                return full(graph, parent_words + (word,))
+    # ------------------------------------------------------------------
+    def _initial_universe(self) -> tuple[int, ...]:
+        if self._universe is None:
+            self._universe = tuple(initial_candidates(self.graph, self._mode))
+        return self._universe
 
-            self._check_extension = from_scratch
+    def _step_context(
+        self,
+        step: int,
+        global_store,
+        canonicalizer: PatternCanonicalizer,
+        agg_channel: AggregationChannel,
+    ) -> "StepContext":
+        # Imported here (not at module top): repro.runtime's backends import
+        # repro.core.config, so a module-level import would be circular.
+        from ..runtime.tasks import StepContext
+
+        config = self.config
+        return StepContext(
+            step=step,
+            graph=self.graph,
+            computation=self.computation,
+            mode=self._mode,
+            num_workers=config.num_workers,
+            storage=config.storage,
+            incremental_canonicality=config.incremental_canonicality,
+            profile_phases=config.profile_phases,
+            collect_outputs=config.collect_outputs,
+            output_limit=config.output_limit,
+            two_level_aggregation=config.two_level_aggregation,
+            pattern_cache=canonicalizer.cache_snapshot(),
+            published_aggregates=agg_channel.published(),
+            universe=self._initial_universe() if step == 0 else None,
+            global_store=global_store if step > 0 else None,
+        )
+
+    def _merge_delta(
+        self,
+        delta: WorkerDelta,
+        result: RunResult,
+        stats: StepStats,
+        step_metrics: SuperstepMetrics,
+        canonicalizer: PatternCanonicalizer,
+    ) -> None:
+        """Fold one worker's delta into run state (call in worker-id order)."""
+        config = self.config
+        result.num_outputs += delta.num_outputs
+        if config.collect_outputs and delta.outputs:
+            limit = config.output_limit
+            if limit is None:
+                result.outputs.extend(delta.outputs)
+            else:
+                room = limit - len(result.outputs)
+                if room > 0:
+                    result.outputs.extend(delta.outputs[:room])
+        stats.absorb(delta.counters)
+        step_metrics.absorb_worker(
+            delta.worker_id, delta.work_units, delta.phase_seconds
+        )
+        canonicalizer.absorb(
+            delta.new_pattern_entries,
+            delta.pattern_requests,
+            delta.isomorphism_runs,
+        )
 
     # ------------------------------------------------------------------
     def run(self) -> RunResult:
         """Execute exploration steps until set F is empty; return results."""
         config = self.config
         computation = self.computation
-        graph = self.graph
         num_workers = config.num_workers
 
         canonicalizer = PatternCanonicalizer(config.two_level_aggregation)
@@ -132,228 +171,73 @@ class ArabesqueEngine:
         out_channel = AggregationChannel(
             OUTPUT_CHANNEL, computation.reduce_output, persistent=True
         )
-        computation.init(graph, config)
+        computation.init(self.graph, config)
 
         result = RunResult()
         metrics = RunMetrics(num_workers=num_workers)
         result.metrics = metrics
         started = time.perf_counter()
 
-        global_store = None
-        for step in range(config.max_exploration_steps):
-            stats = StepStats(step=step)
-            step_metrics = metrics.new_superstep()
-            step_started = time.perf_counter()
+        from ..runtime.base import make_backend
 
-            local_stores = []
-            agg_partials: list[dict[Hashable, Any]] = []
-            out_partials: list[dict[Hashable, Any]] = []
-            for worker_id in range(num_workers):
-                store = ListStore() if config.storage == LIST_STORAGE else OdagStore()
-                local_agg = LocalAggregation(agg_channel, canonicalizer)
-                local_out = LocalAggregation(out_channel, canonicalizer)
-                context = _TurnContext(
-                    result, config, local_agg, local_out, agg_channel, canonicalizer
+        backend = self._backend or make_backend(config)
+        owns_backend = self._backend is None
+        try:
+            global_store = None
+            for step in range(config.max_exploration_steps):
+                stats = StepStats(step=step)
+                step_metrics = metrics.new_superstep()
+                step_started = time.perf_counter()
+
+                context = self._step_context(
+                    step, global_store, canonicalizer, agg_channel
                 )
-                computation.bind_context(context)
-                try:
-                    if step == 0:
-                        self._initial_pass(
-                            worker_id, num_workers, store, canonicalizer,
-                            stats, step_metrics,
-                        )
-                    else:
-                        self._expansion_pass(
-                            worker_id, num_workers, global_store, store,
-                            canonicalizer, stats, step_metrics,
-                        )
-                finally:
-                    computation.bind_context(None)
-                local_stores.append(store)
-                agg_partials.append(local_agg.merged_partials())
-                out_partials.append(local_out.merged_partials())
+                deltas = backend.run_step(context)
+                for delta in deltas:
+                    self._merge_delta(
+                        delta, result, stats, step_metrics, canonicalizer
+                    )
+                local_stores = [delta.local_store for delta in deltas]
+                agg_partials = [delta.agg_partials for delta in deltas]
+                out_partials = [delta.out_partials for delta in deltas]
 
-            self._meter_aggregation(agg_partials, step_metrics)
-            self._meter_aggregation(out_partials, step_metrics)
-            merged_agg = merge_partials(agg_channel, agg_partials)
-            agg_channel.step_barrier(merged_agg)
-            if merged_agg:
-                result.final_aggregates.update(merged_agg)
-            out_channel.step_barrier(merge_partials(out_channel, out_partials))
+                self._meter_aggregation(agg_partials, step_metrics)
+                self._meter_aggregation(out_partials, step_metrics)
+                agg_channel.step_barrier(merge_partials(agg_channel, agg_partials))
+                out_channel.step_barrier(merge_partials(out_channel, out_partials))
 
-            global_store = self._merge_stores(
-                local_stores, step_metrics, stats, embedding_size=step + 1
-            )
-            stats.stored_embeddings = global_store.num_embeddings
-            stats.storage_bytes = global_store.wire_size()
-            stats.list_bytes = self._list_equivalent_bytes(global_store, step + 1)
-            stats.num_patterns = len(global_store.patterns())
-            result.peak_storage_bytes = max(
-                result.peak_storage_bytes, stats.storage_bytes
-            )
-            step_metrics.wall_seconds = time.perf_counter() - step_started
-            result.steps.append(stats)
-            if global_store.is_empty():
-                break
-        else:
-            raise ExplorationError(
-                f"exploration did not terminate within "
-                f"{config.max_exploration_steps} steps — "
-                "check the filter's anti-monotonicity"
-            )
+                global_store = self._merge_stores(
+                    local_stores, step_metrics, stats, embedding_size=step + 1
+                )
+                stats.stored_embeddings = global_store.num_embeddings
+                stats.storage_bytes = global_store.wire_size()
+                stats.list_bytes = self._list_equivalent_bytes(global_store, step + 1)
+                stats.num_patterns = len(global_store.patterns())
+                result.peak_storage_bytes = max(
+                    result.peak_storage_bytes, stats.storage_bytes
+                )
+                step_metrics.wall_seconds = time.perf_counter() - step_started
+                result.steps.append(stats)
+                if global_store.is_empty():
+                    break
+            else:
+                raise ExplorationError(
+                    f"exploration did not terminate within "
+                    f"{config.max_exploration_steps} steps — "
+                    "check the filter's anti-monotonicity"
+                )
+        finally:
+            if owns_backend:
+                backend.close()
 
         result.wall_seconds = time.perf_counter() - started
         result.output_aggregates = out_channel.finalize()
+        result.final_aggregates = agg_channel.latest()
         result.pattern_requests = canonicalizer.requests
         result.quick_patterns = canonicalizer.quick_patterns_seen
         result.canonical_patterns = canonicalizer.canonical_patterns_seen()
         result.isomorphism_runs = canonicalizer.isomorphism_runs
         return result
-
-    # ------------------------------------------------------------------
-    # Worker passes
-    # ------------------------------------------------------------------
-    def _initial_pass(
-        self,
-        worker_id: int,
-        num_workers: int,
-        store,
-        canonicalizer: PatternCanonicalizer,
-        stats: StepStats,
-        step_metrics: SuperstepMetrics,
-    ) -> None:
-        """Step 0: expand the "undefined" embedding — all vertices/edges."""
-        graph = self.graph
-        computation = self.computation
-        profile = self.config.profile_phases
-        universe = initial_candidates(graph, self._mode)
-        total = len(universe)
-        start = total * worker_id // num_workers
-        end = total * (worker_id + 1) // num_workers
-        work = 0
-        for word in range(start, end):
-            stats.candidates_generated += 1
-            stats.canonical_candidates += 1  # single words are canonical
-            work += 1
-            embedding = make_embedding(graph, self._mode, (word,))
-            if not computation.filter(embedding):
-                continue
-            stats.processed_embeddings += 1
-            if profile:
-                t0 = time.perf_counter()
-                computation.process(embedding)
-                step_metrics.add_phase_time("P", time.perf_counter() - t0)
-            else:
-                computation.process(embedding)
-            if computation.termination_filter(embedding):
-                continue
-            if profile:
-                t0 = time.perf_counter()
-            canonical_pattern, _ = canonicalizer.canonicalize(embedding.pattern())
-            store.add(canonical_pattern, embedding.words)
-            if profile:
-                step_metrics.add_phase_time("W", time.perf_counter() - t0)
-        step_metrics.add_work(worker_id, work)
-
-    def _expansion_pass(
-        self,
-        worker_id: int,
-        num_workers: int,
-        global_store,
-        store,
-        canonicalizer: PatternCanonicalizer,
-        stats: StepStats,
-        step_metrics: SuperstepMetrics,
-    ) -> None:
-        """Steps >= 1: read a share of set I, apply α/β, expand, φ/π, write."""
-        graph = self.graph
-        computation = self.computation
-        mode = self._mode
-        check_extension = self._check_extension
-        profile = self.config.profile_phases
-        verify_pattern = self.config.storage != LIST_STORAGE
-        work = 0
-
-        def prefix_ok(words: tuple[int, ...]) -> bool:
-            """Spurious-path filter for ODAG extraction: the incremental
-            canonicality check plus φ on the prefix (both anti-monotone,
-            so failing prefixes prune whole subtrees — section 5.2)."""
-            if not check_extension(graph, words[:-1], words[-1]):
-                return False
-            return computation.filter(make_embedding(graph, mode, words))
-
-        iterator = global_store.extract_partition(worker_id, num_workers, prefix_ok)
-        while True:
-            if profile:
-                t0 = time.perf_counter()
-                item = next(iterator, None)
-                step_metrics.add_phase_time("R", time.perf_counter() - t0)
-            else:
-                item = next(iterator, None)
-            if item is None:
-                break
-            store_pattern, words = item
-            work += 1
-            embedding = make_embedding(graph, mode, words)
-            if verify_pattern:
-                # A path through pattern B's ODAG can spell out a perfectly
-                # valid canonical embedding of pattern A (it passes the
-                # canonicality check and φ) — but the real copy lives in
-                # A's ODAG, so extracting it here would duplicate it.  The
-                # extracted embedding is genuine for THIS ODAG only if its
-                # canonical pattern matches the ODAG's key.
-                extracted_pattern, _ = canonicalizer.canonicalize(embedding.pattern())
-                if extracted_pattern != store_pattern:
-                    stats.spurious_discarded += 1
-                    continue
-            stats.expanded_embeddings += 1
-            if not computation.aggregation_filter(embedding):
-                stats.aggregation_pruned += 1
-                continue
-            computation.aggregation_process(embedding)
-
-            if profile:
-                t0 = time.perf_counter()
-                candidate_words = extensions(graph, mode, words)
-                step_metrics.add_phase_time("G", time.perf_counter() - t0)
-            else:
-                candidate_words = extensions(graph, mode, words)
-
-            for word in candidate_words:
-                stats.candidates_generated += 1
-                work += 1
-                if profile:
-                    t0 = time.perf_counter()
-                    canonical = check_extension(graph, words, word)
-                    step_metrics.add_phase_time("C", time.perf_counter() - t0)
-                else:
-                    canonical = check_extension(graph, words, word)
-                if not canonical:
-                    continue
-                stats.canonical_candidates += 1
-                child = embedding.extend(word)
-                if not computation.filter(child):
-                    continue
-                stats.processed_embeddings += 1
-                if profile:
-                    t0 = time.perf_counter()
-                    computation.process(child)
-                    step_metrics.add_phase_time("P", time.perf_counter() - t0)
-                else:
-                    computation.process(child)
-                if computation.termination_filter(child):
-                    continue
-                if profile:
-                    t0 = time.perf_counter()
-                    canonical_pattern, _ = canonicalizer.canonicalize(child.pattern())
-                    step_metrics.add_phase_time("P", time.perf_counter() - t0)
-                    t0 = time.perf_counter()
-                    store.add(canonical_pattern, child.words)
-                    step_metrics.add_phase_time("W", time.perf_counter() - t0)
-                else:
-                    canonical_pattern, _ = canonicalizer.canonicalize(child.pattern())
-                    store.add(canonical_pattern, child.words)
-        step_metrics.add_work(worker_id, work)
 
     # ------------------------------------------------------------------
     # Simulated communication rounds (metered)
@@ -438,6 +322,7 @@ def run_computation(
     graph: LabeledGraph,
     computation: Computation,
     config: ArabesqueConfig | None = None,
+    backend: ExecutionBackend | None = None,
 ) -> RunResult:
     """One-call convenience wrapper: build an engine and run it."""
-    return ArabesqueEngine(graph, computation, config).run()
+    return ArabesqueEngine(graph, computation, config, backend=backend).run()

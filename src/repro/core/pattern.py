@@ -116,12 +116,29 @@ class PatternCanonicalizer:
     Table 4.  With ``two_level=False`` it bypasses the quick-pattern cache
     and runs a fresh graph-isomorphism canonicalization per request, which
     is the ablation of Figure 11.
+
+    The execution runtime gives each worker task its own canonicalizer
+    *seeded* with the engine's master cache snapshot (``seed_cache``, held
+    by reference and never written — all workers of a step share one
+    snapshot with zero copying); the entries a worker discovers on top of
+    the seed land in its own overlay dict and travel back in its
+    :class:`~repro.core.results.WorkerDelta` (:meth:`new_entries`), to be
+    folded into the master at the step barrier (:meth:`absorb`).
     """
 
-    def __init__(self, two_level: bool = True) -> None:
+    def __init__(
+        self,
+        two_level: bool = True,
+        seed_cache: dict[Pattern, tuple[Pattern, tuple[int, ...]]] | None = None,
+    ) -> None:
         self.two_level = two_level
         self.requests = 0
         self.isomorphism_runs = 0
+        #: Read-only seed shared with the engine (empty for the master).
+        self._seed: dict[Pattern, tuple[Pattern, tuple[int, ...]]] = (
+            seed_cache if seed_cache is not None else {}
+        )
+        #: Entries discovered by THIS instance (the write overlay).
         self._cache: dict[Pattern, tuple[Pattern, tuple[int, ...]]] = {}
 
     def canonicalize(self, quick: Pattern) -> tuple[Pattern, tuple[int, ...]]:
@@ -129,6 +146,8 @@ class PatternCanonicalizer:
         self.requests += 1
         if self.two_level:
             cached = self._cache.get(quick)
+            if cached is None:
+                cached = self._seed.get(quick)
             if cached is not None:
                 return cached
             self.isomorphism_runs += 1
@@ -141,11 +160,49 @@ class PatternCanonicalizer:
     @property
     def quick_patterns_seen(self) -> int:
         """Distinct quick patterns this run encountered."""
-        return len(self._cache)
+        return len(self._cache) + len(self._seed)
 
     def canonical_patterns_seen(self) -> int:
         """Distinct canonical patterns the quick patterns collapse to."""
-        return len({canonical for canonical, _ in self._cache.values()})
+        return len(
+            {canonical for canonical, _ in self._cache.values()}
+            | {canonical for canonical, _ in self._seed.values()}
+        )
+
+    # -- worker-task protocol (see repro.runtime) ----------------------
+    def cache_snapshot(self) -> dict[Pattern, tuple[Pattern, tuple[int, ...]]]:
+        """Copy of the quick -> canonical cache, for seeding worker tasks.
+
+        One copy per step (made by the engine), shared by reference with
+        every worker task of that step.
+        """
+        if not self._seed:
+            return dict(self._cache)
+        return {**self._seed, **self._cache}
+
+    def new_entries(self) -> dict[Pattern, tuple[Pattern, tuple[int, ...]]]:
+        """Entries discovered by this instance beyond its seed (no copy)."""
+        return self._cache
+
+    def absorb(
+        self,
+        new_entries: dict[Pattern, tuple[Pattern, tuple[int, ...]]],
+        requests: int,
+        isomorphism_runs: int,
+    ) -> None:
+        """Fold one worker task's canonicalization delta into this master.
+
+        ``isomorphism_runs`` counts computations actually performed: when
+        several workers of one step independently meet the same new quick
+        pattern, each really runs the isomorphism (exactly as distributed
+        workers would), so for ``num_workers > 1`` the run total can exceed
+        the distinct-quick-pattern count.  With one worker the numbers
+        match the shared-cache engine of old.  ``quick_patterns_seen`` /
+        ``canonical_patterns_seen`` stay worker-count-invariant.
+        """
+        self._cache.update(new_entries)
+        self.requests += requests
+        self.isomorphism_runs += isomorphism_runs
 
 
 def _uncached_canonicalize(pattern: Pattern) -> tuple[Pattern, tuple[int, ...]]:

@@ -1,0 +1,23 @@
+"""Serial backend: one in-process loop over the worker tasks (default).
+
+Exactly the pre-runtime behavior — workers execute sequentially and
+deterministically — but expressed through the same pure-task interface as
+the parallel backends, so it doubles as the reference implementation the
+cross-backend determinism tests compare against.
+"""
+
+from __future__ import annotations
+
+from ..core.config import SERIAL_BACKEND
+from ..core.results import WorkerDelta
+from .base import ExecutionBackend
+from .tasks import StepContext
+
+
+class SerialBackend(ExecutionBackend):
+    """Run every worker task on the calling thread, in worker-id order."""
+
+    name = SERIAL_BACKEND
+
+    def run_step(self, context: StepContext) -> list[WorkerDelta]:
+        return self._run_serially(context)

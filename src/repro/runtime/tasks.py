@@ -1,0 +1,339 @@
+"""Pure worker step tasks — the unit of work every backend schedules.
+
+One *step task* is what a single logical worker does during one exploration
+step of Algorithm 1: read its rank-range share of the previous step's
+global store, apply the aggregation filter/process, generate and
+canonicality-check extensions, run the user filter/process, and write
+survivors to a worker-local store.
+
+The task is a **pure function** of an immutable :class:`StepContext` and a
+``worker_id``: it touches no engine state, and every effect it has — the
+local store, aggregation partials, emitted outputs, counters, phase
+timings, and newly canonicalized patterns — travels back in a
+:class:`~repro.core.results.WorkerDelta` that the engine merges at the step
+barrier.  Purity is what lets the three execution backends
+(:mod:`repro.runtime`) run tasks sequentially, on threads, or in separate
+processes while producing byte-identical results:
+
+* no shared mutable state ⇒ no ordering hazards — merging deltas in
+  worker-id order reproduces the serial schedule exactly;
+* everything in the context and the delta is picklable ⇒ the process
+  backend can ship tasks across process boundaries;
+* the computation object is shallow-copied per task ⇒ the per-task context
+  binding (``bind_context``) never races between threads.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Sequence
+
+from ..core.aggregation import LocalAggregation
+from ..core.canonical import extension_checker, full_checker
+from ..core.computation import Computation, ComputationContext
+from ..core.embedding import make_embedding
+from ..core.extension import extensions
+from ..core.pattern import Pattern, PatternCanonicalizer
+from ..core.results import StepStats, WorkerDelta
+from ..core.storage import EmbeddingStore, LIST_STORAGE, ListStore, OdagStore
+
+
+@dataclass(frozen=True)
+class StepContext:
+    """Immutable snapshot of everything one exploration step's tasks read.
+
+    Built once per step by the engine and shared (or shipped) to every
+    worker task.  Nothing in here is mutated during the step — the previous
+    step's global store and published aggregates are read-only, and the
+    pattern cache is a snapshot of the engine's master canonicalizer.
+    """
+
+    step: int
+    graph: Any
+    #: Initialized computation; tasks shallow-copy it before binding their
+    #: per-task context, so the original is never written to.
+    computation: Computation
+    mode: str
+    num_workers: int
+    storage: str
+    incremental_canonicality: bool
+    profile_phases: bool
+    collect_outputs: bool
+    output_limit: int | None
+    two_level_aggregation: bool
+    #: Master quick-pattern -> (canonical, mapping) cache snapshot.
+    pattern_cache: dict[Pattern, tuple[Pattern, tuple[int, ...]]] = field(
+        default_factory=dict
+    )
+    #: Previous step's published aggregates (``readAggregate`` source).
+    published_aggregates: dict[Hashable, Any] = field(default_factory=dict)
+    #: Step 0 only: the cached expansion of the "undefined" embedding.
+    universe: tuple[int, ...] | None = None
+    #: Steps >= 1: the merged global store of the previous step (set I).
+    global_store: EmbeddingStore | None = None
+
+
+class WorkerTaskContext(ComputationContext):
+    """Framework functions bound while one task runs one step.
+
+    All writes land in task-local buffers (the delta and the local
+    aggregations); reads come from the immutable step context.
+    """
+
+    def __init__(
+        self,
+        context: StepContext,
+        delta: WorkerDelta,
+        local_agg: LocalAggregation,
+        local_out: LocalAggregation,
+        canonicalizer: PatternCanonicalizer,
+    ) -> None:
+        self._context = context
+        self._delta = delta
+        self._local_agg = local_agg
+        self._local_out = local_out
+        self._canonicalizer = canonicalizer
+
+    def output(self, value: Any) -> None:
+        self._delta.num_outputs += 1
+        if self._context.collect_outputs:
+            limit = self._context.output_limit
+            if limit is None or len(self._delta.outputs) < limit:
+                self._delta.outputs.append(value)
+
+    def map(self, key: Hashable, value: Any) -> None:
+        self._local_agg.map(key, value)
+
+    def map_output(self, key: Hashable, value: Any) -> None:
+        self._local_out.map(key, value)
+
+    def read_aggregate(self, key: Hashable) -> Any:
+        if isinstance(key, Pattern):
+            key = self._canonicalizer.canonicalize(key)[0]
+        return self._context.published_aggregates.get(key)
+
+
+def _make_extension_checker(mode: str, incremental: bool):
+    """The canonicality predicate for one-word extensions (Algorithm 2)."""
+    if incremental:
+        return extension_checker(mode)
+    full = full_checker(mode)
+
+    def from_scratch(graph, parent_words, word):
+        return full(graph, parent_words + (word,))
+
+    return from_scratch
+
+
+def run_step_task(context: StepContext, worker_id: int) -> WorkerDelta:
+    """Execute one worker's share of one exploration step; return its delta.
+
+    Pure: same ``(context, worker_id)`` always yields the same delta, and
+    nothing outside the returned delta is modified.
+    """
+    computation = copy.copy(context.computation)
+    canonicalizer = PatternCanonicalizer(
+        context.two_level_aggregation, seed_cache=context.pattern_cache
+    )
+    local_agg = LocalAggregation(computation.reduce, canonicalizer)
+    local_out = LocalAggregation(computation.reduce_output, canonicalizer)
+    store: EmbeddingStore = (
+        ListStore() if context.storage == LIST_STORAGE else OdagStore()
+    )
+    delta = WorkerDelta(
+        worker_id=worker_id,
+        local_store=store,
+        counters=StepStats(step=context.step),
+    )
+    task_context = WorkerTaskContext(
+        context, delta, local_agg, local_out, canonicalizer
+    )
+    computation.bind_context(task_context)
+    try:
+        if context.step == 0:
+            _initial_pass(context, worker_id, computation, canonicalizer, store, delta)
+        else:
+            _expansion_pass(
+                context, worker_id, computation, canonicalizer, store, delta
+            )
+    finally:
+        computation.bind_context(None)
+    delta.agg_partials = local_agg.merged_partials()
+    delta.out_partials = local_out.merged_partials()
+    delta.pattern_requests = canonicalizer.requests
+    delta.isomorphism_runs = canonicalizer.isomorphism_runs
+    delta.new_pattern_entries = canonicalizer.new_entries()
+    return delta
+
+
+def run_step_chunk(
+    context: StepContext, worker_ids: Sequence[int]
+) -> list[WorkerDelta]:
+    """Run several workers' tasks back to back (per-worker chunking).
+
+    The process backend hands each pool process one chunk so a step costs
+    one task message per process instead of one per logical worker.
+    """
+    return [run_step_task(context, worker_id) for worker_id in worker_ids]
+
+
+# ----------------------------------------------------------------------
+# The two passes (Algorithm 1, split by step number)
+# ----------------------------------------------------------------------
+def _initial_pass(
+    context: StepContext,
+    worker_id: int,
+    computation: Computation,
+    canonicalizer: PatternCanonicalizer,
+    store: EmbeddingStore,
+    delta: WorkerDelta,
+) -> None:
+    """Step 0: expand the "undefined" embedding — all vertices/edges."""
+    graph = context.graph
+    mode = context.mode
+    profile = context.profile_phases
+    stats = delta.counters
+    phase_seconds = delta.phase_seconds
+    universe = context.universe
+    assert universe is not None, "step-0 context must carry the universe"
+    total = len(universe)
+    num_workers = context.num_workers
+    start = total * worker_id // num_workers
+    end = total * (worker_id + 1) // num_workers
+    work = 0
+    for index in range(start, end):
+        word = universe[index]
+        stats.candidates_generated += 1
+        stats.canonical_candidates += 1  # single words are canonical
+        work += 1
+        embedding = make_embedding(graph, mode, (word,))
+        if not computation.filter(embedding):
+            continue
+        stats.processed_embeddings += 1
+        if profile:
+            t0 = time.perf_counter()
+            computation.process(embedding)
+            _add_phase(phase_seconds, "P", time.perf_counter() - t0)
+        else:
+            computation.process(embedding)
+        if computation.termination_filter(embedding):
+            continue
+        if profile:
+            t0 = time.perf_counter()
+        canonical_pattern, _ = canonicalizer.canonicalize(embedding.pattern())
+        store.add(canonical_pattern, embedding.words)
+        if profile:
+            _add_phase(phase_seconds, "W", time.perf_counter() - t0)
+    delta.work_units += work
+
+
+def _expansion_pass(
+    context: StepContext,
+    worker_id: int,
+    computation: Computation,
+    canonicalizer: PatternCanonicalizer,
+    store: EmbeddingStore,
+    delta: WorkerDelta,
+) -> None:
+    """Steps >= 1: read a share of set I, apply α/β, expand, φ/π, write."""
+    graph = context.graph
+    mode = context.mode
+    check_extension = _make_extension_checker(
+        mode, context.incremental_canonicality
+    )
+    profile = context.profile_phases
+    verify_pattern = context.storage != LIST_STORAGE
+    stats = delta.counters
+    phase_seconds = delta.phase_seconds
+    global_store = context.global_store
+    assert global_store is not None, "expansion context must carry set I"
+    work = 0
+
+    def prefix_ok(words: tuple[int, ...]) -> bool:
+        """Spurious-path filter for ODAG extraction: the incremental
+        canonicality check plus φ on the prefix (both anti-monotone,
+        so failing prefixes prune whole subtrees — section 5.2)."""
+        if not check_extension(graph, words[:-1], words[-1]):
+            return False
+        return computation.filter(make_embedding(graph, mode, words))
+
+    iterator = global_store.extract_partition(
+        worker_id, context.num_workers, prefix_ok
+    )
+    while True:
+        if profile:
+            t0 = time.perf_counter()
+            item = next(iterator, None)
+            _add_phase(phase_seconds, "R", time.perf_counter() - t0)
+        else:
+            item = next(iterator, None)
+        if item is None:
+            break
+        store_pattern, words = item
+        work += 1
+        embedding = make_embedding(graph, mode, words)
+        if verify_pattern:
+            # A path through pattern B's ODAG can spell out a perfectly
+            # valid canonical embedding of pattern A (it passes the
+            # canonicality check and φ) — but the real copy lives in
+            # A's ODAG, so extracting it here would duplicate it.  The
+            # extracted embedding is genuine for THIS ODAG only if its
+            # canonical pattern matches the ODAG's key.
+            extracted_pattern, _ = canonicalizer.canonicalize(embedding.pattern())
+            if extracted_pattern != store_pattern:
+                stats.spurious_discarded += 1
+                continue
+        stats.expanded_embeddings += 1
+        if not computation.aggregation_filter(embedding):
+            stats.aggregation_pruned += 1
+            continue
+        computation.aggregation_process(embedding)
+
+        if profile:
+            t0 = time.perf_counter()
+            candidate_words = extensions(graph, mode, words)
+            _add_phase(phase_seconds, "G", time.perf_counter() - t0)
+        else:
+            candidate_words = extensions(graph, mode, words)
+
+        for word in candidate_words:
+            stats.candidates_generated += 1
+            work += 1
+            if profile:
+                t0 = time.perf_counter()
+                canonical = check_extension(graph, words, word)
+                _add_phase(phase_seconds, "C", time.perf_counter() - t0)
+            else:
+                canonical = check_extension(graph, words, word)
+            if not canonical:
+                continue
+            stats.canonical_candidates += 1
+            child = embedding.extend(word)
+            if not computation.filter(child):
+                continue
+            stats.processed_embeddings += 1
+            if profile:
+                t0 = time.perf_counter()
+                computation.process(child)
+                _add_phase(phase_seconds, "P", time.perf_counter() - t0)
+            else:
+                computation.process(child)
+            if computation.termination_filter(child):
+                continue
+            if profile:
+                t0 = time.perf_counter()
+                canonical_pattern, _ = canonicalizer.canonicalize(child.pattern())
+                _add_phase(phase_seconds, "P", time.perf_counter() - t0)
+                t0 = time.perf_counter()
+                store.add(canonical_pattern, child.words)
+                _add_phase(phase_seconds, "W", time.perf_counter() - t0)
+            else:
+                canonical_pattern, _ = canonicalizer.canonicalize(child.pattern())
+                store.add(canonical_pattern, child.words)
+    delta.work_units += work
+
+
+def _add_phase(phase_seconds: dict[str, float], phase: str, seconds: float) -> None:
+    phase_seconds[phase] = phase_seconds.get(phase, 0.0) + seconds

@@ -54,6 +54,80 @@ class TestChannel:
         assert channel.finalize() == {}
 
 
+class TestLatestView:
+    """Regression tests for RunResult.final_aggregates semantics: per key,
+    the value from the LAST step that produced it — replaced per the
+    non-persistent channel's per-step semantics, never reduced across
+    steps, and never dropped when later steps stop producing the key."""
+
+    def test_reproduced_key_is_replaced_not_reduced(self):
+        channel = AggregationChannel("agg", sum_reduce)
+        channel.step_barrier({"k": 5})
+        channel.step_barrier({"k": 3})
+        # A persistent channel would accumulate to 8; the per-step channel
+        # must report only the last step's merged value.
+        assert channel.latest() == {"k": 3}
+
+    def test_key_from_earlier_step_is_retained(self):
+        """FSM relies on this: a pattern with i edges is aggregated only at
+        step i-1, and frequent_patterns() reads every size at end of run."""
+        channel = AggregationChannel("agg", sum_reduce)
+        channel.step_barrier({"size-1": 10})
+        channel.step_barrier({"size-2": 7})
+        channel.step_barrier({})
+        assert channel.latest() == {"size-1": 10, "size-2": 7}
+        # ... even though the published (readAggregate) view has moved on:
+        assert channel.read("size-1") is None
+
+    def test_empty_final_step_clears_nothing(self):
+        channel = AggregationChannel("agg", sum_reduce)
+        channel.step_barrier({"k": 1})
+        channel.step_barrier({})
+        assert channel.latest() == {"k": 1}
+
+    def test_latest_is_a_copy(self):
+        channel = AggregationChannel("agg", sum_reduce)
+        channel.step_barrier({"k": 1})
+        view = channel.latest()
+        view["k"] = 99
+        assert channel.latest() == {"k": 1}
+
+    def test_engine_final_aggregates_use_latest_semantics(self):
+        """End-to-end regression: an app that maps the same key at every
+        step must see the last step's value in final_aggregates (not a
+        cross-step reduction), while step-local keys from earlier steps
+        stay visible."""
+        from repro.core import ArabesqueConfig, Computation, run_computation
+        from repro.graph import complete_graph
+
+        class PerStepCensus(Computation):
+            def filter(self, embedding):
+                return embedding.num_vertices <= 3
+
+            def process(self, embedding):
+                self.map("embeddings", 1)
+                self.map(("size", embedding.num_vertices), 1)
+
+            def reduce(self, key, values):
+                return sum(values)
+
+            def termination_filter(self, embedding):
+                return embedding.num_vertices >= 3
+
+        for workers, backend in ((1, "serial"), (3, "thread"), (3, "process")):
+            result = run_computation(
+                complete_graph(4),
+                PerStepCensus(),
+                ArabesqueConfig(num_workers=workers, backend=backend),
+            )
+            # K4: 4 vertices, 6 edges, 4 triangles; the last step that maps
+            # "embeddings" is the size-3 step -> 4, NOT 4 + 6 + 4 = 14.
+            assert result.final_aggregates["embeddings"] == 4
+            assert result.final_aggregates[("size", 1)] == 4
+            assert result.final_aggregates[("size", 2)] == 6
+            assert result.final_aggregates[("size", 3)] == 4
+
+
 class TestLocalAggregation:
     def test_plain_keys(self):
         channel = AggregationChannel("agg", sum_reduce)
