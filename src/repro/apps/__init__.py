@@ -8,9 +8,20 @@ from .frequent_cliques import (
 )
 from .fsm import FrequentEmbedding, FrequentSubgraphMining, frequent_patterns
 from .inexact import InexactMatching, min_completion_cost, unit_label_cost
-from .matching import GraphMatching, pattern_embeds_in
+from .matching import (
+    GraphMatching,
+    GuidedMatching,
+    match_vertex_sets,
+    pattern_embeds_in,
+    run_matching,
+)
 from .maximal_cliques import MaximalCliqueFinding, is_maximal_clique
-from .motifs import MotifCounting, motif_counts, motif_counts_by_size
+from .motifs import (
+    MotifCounting,
+    motif_counts,
+    motif_counts_by_size,
+    single_motif_count,
+)
 from .support import Domain
 from .transactional_fsm import (
     GraphCollection,
@@ -28,6 +39,7 @@ __all__ = [
     "FrequentSubgraphMining",
     "GraphCollection",
     "GraphMatching",
+    "GuidedMatching",
     "InexactMatching",
     "MaximalCliqueFinding",
     "MotifCounting",
@@ -37,10 +49,13 @@ __all__ = [
     "frequent_clique_patterns",
     "frequent_patterns",
     "is_maximal_clique",
+    "match_vertex_sets",
     "min_completion_cost",
     "motif_counts",
     "motif_counts_by_size",
     "pattern_embeds_in",
+    "run_matching",
+    "single_motif_count",
     "transactional_frequent_patterns",
     "unit_label_cost",
 ]

@@ -12,19 +12,36 @@ function outputs the embeddings that match the whole query.
 Matching a candidate's pattern against the query is a pattern-to-pattern
 subgraph isomorphism; with two-level-style caching per quick pattern the
 check runs once per distinct shape rather than once per embedding.
+
+Two execution strategies share this module:
+
+* :class:`GraphMatching` — the exhaustive filter-process oracle described
+  above: extend every canonical embedding everywhere, keep the ones still
+  embeddable in the query.  Exploration-agnostic but trivially correct.
+* :class:`GuidedMatching` + :func:`run_matching` — the planner fast path:
+  the query is compiled into a :class:`~repro.plan.MatchingPlan`
+  (matching order, per-step constraints, symmetry-breaking restrictions)
+  and the runtime only proposes candidates satisfying the next plan step.
+  Produces the identical match multiset with a fraction of the candidates;
+  the exhaustive mode stays the default and the correctness oracle.
 """
 
 from __future__ import annotations
 
+import dataclasses
+
 from ..core.computation import Computation
+from ..core.config import ArabesqueConfig
 from ..core.embedding import (
     EDGE_EXPLORATION,
     Embedding,
     VERTEX_EXPLORATION,
 )
 from ..core.pattern import Pattern
+from ..core.results import RunResult
 from ..graph import LabeledGraph
 from ..isomorphism import SubgraphMatcher
+from ..plan.planner import MatchingPlan, compile_plan
 
 
 def _pattern_as_graph(pattern: Pattern) -> LabeledGraph:
@@ -69,6 +86,10 @@ class GraphMatching(Computation):
         super().__init__()
         if query.num_vertices == 0:
             raise ValueError("query pattern must not be empty")
+        if not query.is_connected():
+            # Connected exploration can never assemble a disconnected
+            # occurrence — fail loudly instead of reporting zero matches.
+            raise ValueError("query pattern must be connected")
         self.query = query.canonical()
         self.induced = induced
         self.exploration_mode = (
@@ -109,3 +130,98 @@ class GraphMatching(Computation):
         if self.induced:
             return embedding.num_vertices >= self.query.num_vertices
         return embedding.num_edges >= self.query.num_edges
+
+
+class GuidedMatching(Computation):
+    """Plan-guided matching: the runtime does the filtering.
+
+    Run with ``config.plan`` set to the same plan (:func:`run_matching`
+    wires this up): every embedding reaching the user functions is a valid
+    partial match by construction — the plan's per-step constraints
+    subsume φ, and its symmetry restrictions subsume the canonicality
+    check — so the computation only has to emit full-size matches.
+
+    Outputs are ``tuple(sorted(vertices))`` like :class:`GraphMatching`,
+    and the emitted multiset is identical to the exhaustive one: induced
+    mode yields one mapping per matching vertex set, monomorphic mode one
+    mapping per matching edge image (both are the orbit count the symmetry
+    restrictions collapse to exactly one representative).
+    """
+
+    exploration_mode = VERTEX_EXPLORATION
+    plan_compatible = True
+
+    def __init__(self, plan: MatchingPlan):
+        super().__init__()
+        self.plan = plan
+
+    def process(self, embedding: Embedding) -> None:
+        if embedding.size == self.plan.num_steps:
+            self.output(tuple(sorted(embedding.words)))
+
+    def termination_filter(self, embedding: Embedding) -> bool:
+        return embedding.size >= self.plan.num_steps
+
+
+def run_matching(
+    graph: LabeledGraph,
+    query: Pattern,
+    *,
+    induced: bool = True,
+    guided: bool = False,
+    config: ArabesqueConfig | None = None,
+    plan: MatchingPlan | None = None,
+) -> RunResult:
+    """Retrieve all matches of ``query`` in ``graph``.
+
+    ``guided=False`` (the default, and the oracle the guided path is
+    validated against) runs the exhaustive :class:`GraphMatching`
+    filter-process computation.  ``guided=True`` compiles the query into
+    a :class:`~repro.plan.MatchingPlan` and runs :class:`GuidedMatching`
+    on the plan-guided runtime path.  Both modes emit one
+    ``tuple(sorted(vertices))`` per match and agree on the multiset.
+
+    Callers that already compiled the query (e.g. to show the plan) can
+    pass it as ``plan`` to skip recompilation; its semantics must agree
+    with ``induced``.  A caller-supplied ``config`` is reused with its
+    ``plan`` field forced to match the chosen mode (any other fields —
+    workers, backend, storage — apply to both paths).
+    """
+    base = config if config is not None else ArabesqueConfig()
+    from ..core.engine import run_computation
+
+    if guided:
+        if plan is None:
+            plan = compile_plan(query.canonical(), induced=induced)
+        elif plan.induced != induced:
+            raise ValueError(
+                f"precompiled plan has induced={plan.induced}, "
+                f"but induced={induced} was requested"
+            )
+        elif plan.pattern != query.canonical():
+            raise ValueError(
+                "precompiled plan was built from a different query pattern"
+            )
+        return run_computation(
+            graph, GuidedMatching(plan), dataclasses.replace(base, plan=plan)
+        )
+    if plan is not None:
+        raise ValueError(
+            "a precompiled plan was supplied but guided=False; "
+            "pass guided=True to run the plan-guided path"
+        )
+    exhaustive_config = (
+        base if base.plan is None else dataclasses.replace(base, plan=None)
+    )
+    return run_computation(
+        graph, GraphMatching(query, induced=induced), exhaustive_config
+    )
+
+
+def match_vertex_sets(result: RunResult) -> list[tuple[int, ...]]:
+    """A run's matches as a sorted list of sorted vertex tuples.
+
+    Order-insensitive view for comparing guided and exhaustive runs
+    (the two modes emit the same multiset in different orders).
+    """
+    return sorted(result.outputs)

@@ -10,10 +10,14 @@ definition to labeled patterns").
 
 from __future__ import annotations
 
+import dataclasses
+
 from ..core.computation import Computation
+from ..core.config import ArabesqueConfig
 from ..core.embedding import Embedding, VERTEX_EXPLORATION
 from ..core.pattern import Pattern
 from ..core.results import RunResult
+from ..graph import LabeledGraph
 
 
 class MotifCounting(Computation):
@@ -66,3 +70,35 @@ def motif_counts_by_size(result: RunResult) -> dict[int, dict[Pattern, int]]:
     for pattern, count in motif_counts(result).items():
         by_size.setdefault(pattern.num_vertices, {})[pattern] = count
     return by_size
+
+
+def single_motif_count(
+    graph: LabeledGraph,
+    motif: Pattern,
+    *,
+    guided: bool = True,
+    config: ArabesqueConfig | None = None,
+) -> int:
+    """Count the vertex-induced embeddings of ONE motif shape.
+
+    Exhaustive :class:`MotifCounting` explores every motif of the size
+    class and reads one entry of the distribution; when only a single
+    shape matters this is the planner fast path — a guided induced match
+    of the motif pattern counts exactly the same embeddings while only
+    generating plan-compatible candidates.  ``guided=False`` falls back to
+    the exhaustive matcher (the oracle), which is also the right choice
+    when the distribution of *all* motifs is needed anyway.
+
+    Outputs are not collected — only the exact count is returned.
+    """
+    from .matching import run_matching
+
+    base = config if config is not None else ArabesqueConfig()
+    result = run_matching(
+        graph,
+        motif,
+        induced=True,
+        guided=guided,
+        config=dataclasses.replace(base, collect_outputs=False),
+    )
+    return result.num_outputs

@@ -5,6 +5,7 @@ Usage::
     python -m repro motifs  GRAPH --max-size 3
     python -m repro cliques GRAPH --max-size 4 [--maximal]
     python -m repro fsm     GRAPH --support 100 [--max-edges 3]
+    python -m repro match   GRAPH QUERY [--guided | --exhaustive]
     python -m repro stats   GRAPH
 
 ``GRAPH`` is an edge-list file (see :func:`repro.graph.read_edge_list`) or
@@ -18,6 +19,13 @@ that actually runs them (``serial``, ``thread``, or ``process`` — see
 :mod:`repro.runtime`).  ``--backend process --num-workers N`` uses N OS
 processes for a real multi-core speedup; results are identical across
 backends and worker counts by construction.
+
+``match`` retrieves every occurrence of a query pattern — a named shape
+(``triangle``, ``square``, ``wedge``, ...) or a pattern edge-list file (see
+:func:`repro.plan.read_pattern_file`).  ``--exhaustive`` (default) runs the
+filter-process oracle; ``--guided`` compiles the query into a pattern-aware
+exploration plan (:mod:`repro.plan`) that proposes only plan-compatible
+candidates — identical matches, a fraction of the candidates.
 """
 
 from __future__ import annotations
@@ -33,11 +41,14 @@ from .apps import (
     MotifCounting,
     cliques_by_size,
     frequent_patterns,
+    match_vertex_sets,
     motif_counts,
+    run_matching,
 )
 from .core import ArabesqueConfig, BACKENDS, SERIAL_BACKEND, run_computation
 from .datasets import DATASETS, dataset_statistics
 from .graph import LabeledGraph, read_edge_list, strip_labels
+from .plan import NAMED_SHAPES, compile_plan, resolve_query
 
 
 def load_graph(spec: str, scale: float | None) -> LabeledGraph:
@@ -124,6 +135,52 @@ def cmd_fsm(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_match(args: argparse.Namespace) -> int:
+    graph = load_graph(args.graph, args.scale)
+    if not args.labeled:
+        graph = strip_labels(graph)
+    induced = not args.monomorphic
+    config = run_config(args, output_limit=args.limit)
+    # One handler for the whole matching layer: unknown shapes, malformed
+    # pattern files, and disconnected queries (PlanError from compile_plan
+    # in guided mode, GraphMatching's validation in exhaustive mode) all
+    # exit cleanly instead of dumping a traceback.
+    try:
+        query = resolve_query(args.query)
+        if not args.labeled and (
+            any(query.vertex_labels)
+            or any(label for _, _, label in query.edges)
+        ):
+            # The graph's labels were just stripped to 0; a labeled query
+            # would silently match nothing.
+            raise ValueError(
+                "query pattern carries labels but graph labels are "
+                "stripped by default; pass --labeled to match them"
+            )
+        plan = None
+        if args.guided:
+            plan = compile_plan(query.canonical(), induced=induced)
+            print(f"plan: {plan.describe()}")
+        result = run_matching(
+            graph, query, induced=induced, guided=args.guided,
+            config=config, plan=plan,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    mode = "guided" if args.guided else "exhaustive"
+    semantics = "induced" if induced else "monomorphic"
+    print(
+        f"query {args.query!r} ({semantics}, {mode}): "
+        f"{result.num_outputs:,} matches, "
+        f"{result.total_candidates:,} candidates generated"
+    )
+    if args.verbose:
+        for match in match_vertex_sets(result)[:20]:
+            print(f"  {match}")
+    _print_run_summary(result)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -170,6 +227,44 @@ def build_parser() -> argparse.ArgumentParser:
                          help="cap on collected cliques")
     cliques.add_argument("--verbose", action="store_true")
     cliques.set_defaults(handler=cmd_cliques)
+
+    match = subparsers.add_parser(
+        "match", help="retrieve all occurrences of a query pattern"
+    )
+    common(match)
+    match.add_argument(
+        "query",
+        help="named query shape "
+             f"({', '.join(sorted(NAMED_SHAPES))}) or a pattern "
+             "edge-list file ('u v [edge_label]' lines, optional "
+             "'v <id> <label>' vertex-label lines)",
+    )
+    strategy = match.add_mutually_exclusive_group()
+    strategy.add_argument(
+        "--guided", dest="guided", action="store_true", default=False,
+        help="compile the query into a pattern-aware exploration plan "
+             "(matching order + symmetry breaking) and only generate "
+             "plan-compatible candidates",
+    )
+    strategy.add_argument(
+        "--exhaustive", dest="guided", action="store_false",
+        help="exploration-agnostic filter-process matching (default; "
+             "the oracle the guided mode is validated against)",
+    )
+    match.add_argument(
+        "--monomorphic", action="store_true",
+        help="edge-subset (monomorphism) semantics instead of "
+             "vertex-induced occurrences",
+    )
+    match.add_argument(
+        "--labeled", action="store_true",
+        help="keep vertex labels (query labels must match graph labels)",
+    )
+    match.add_argument("--limit", type=int, default=100_000,
+                       help="cap on collected matches (counts stay exact)")
+    match.add_argument("--verbose", action="store_true",
+                       help="print the first 20 matches")
+    match.set_defaults(handler=cmd_match)
 
     fsm = subparsers.add_parser("fsm", help="frequent subgraph mining")
     common(fsm)

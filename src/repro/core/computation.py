@@ -67,6 +67,14 @@ class Computation:
     #: ``VERTEX_EXPLORATION`` or ``EDGE_EXPLORATION``.
     exploration_mode: str = VERTEX_EXPLORATION
 
+    #: Whether this computation understands plan-guided exploration
+    #: (``config.plan`` set): words follow the plan's matching order and
+    #: only plan-compatible candidates are generated.  The engine refuses
+    #: to pair a plan with computations that have not opted in — guided
+    #: generation silently changes what an unaware computation explores
+    #: (e.g. a motif census would quietly lose every non-query shape).
+    plan_compatible: bool = False
+
     def __init__(self) -> None:
         self.graph: LabeledGraph | None = None
         self._context: ComputationContext | None = None

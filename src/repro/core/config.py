@@ -3,9 +3,13 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..bsp.cost_model import CostModel
 from .storage import ADAPTIVE_STORAGE, LIST_STORAGE, ODAG_STORAGE
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (plan -> core)
+    from ..plan.planner import MatchingPlan
 
 #: Execution-backend configuration values (see :mod:`repro.runtime`).
 SERIAL_BACKEND = "serial"
@@ -51,6 +55,15 @@ class ArabesqueConfig:
     #: Incremental canonicality checks (Algorithm 2); False re-checks the
     #: whole word sequence per candidate (ablation bench).
     incremental_canonicality: bool = True
+    #: Guided exploration plan (:func:`repro.plan.compile_plan`).  When
+    #: set, worker step tasks generate candidates from the plan's anchors
+    #: and validate them against the plan's per-step constraints —
+    #: symmetry-breaking restrictions replace the embedding canonicality
+    #: check entirely.  Requires a vertex-exploration computation whose
+    #: user functions understand plan-ordered words (e.g.
+    #: :class:`repro.apps.matching.GuidedMatching`); ``None`` (default)
+    #: keeps the exhaustive extend-everywhere path.
+    plan: "MatchingPlan | None" = None
     #: Safety bound on exploration steps; exceeded = misbehaving filter.
     max_exploration_steps: int = 100
     #: Keep outputs in memory.  Large runs can set a cap (counts stay exact).
@@ -73,5 +86,13 @@ class ArabesqueConfig:
             )
         if self.backend_processes is not None and self.backend_processes < 1:
             raise ValueError("backend_processes must be >= 1 when given")
+        if self.plan is not None:
+            from ..plan.planner import MatchingPlan
+
+            if not isinstance(self.plan, MatchingPlan):
+                raise ValueError(
+                    "plan must be a repro.plan.MatchingPlan "
+                    f"(got {type(self.plan).__name__})"
+                )
         if self.max_exploration_steps < 1:
             raise ValueError("max_exploration_steps must be >= 1")

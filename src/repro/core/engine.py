@@ -88,6 +88,30 @@ class ArabesqueEngine:
         self._mode = computation.exploration_mode
         if self._mode not in (VERTEX_EXPLORATION, EDGE_EXPLORATION):
             raise ValueError(f"unknown exploration mode {self._mode!r}")
+        if self.config.plan is not None:
+            if self._mode != VERTEX_EXPLORATION:
+                raise ValueError(
+                    "guided plans drive vertex-based exploration; "
+                    "edge-exploration computations cannot run with config.plan"
+                )
+            if not computation.plan_compatible:
+                raise ValueError(
+                    f"{type(computation).__name__} has not opted into "
+                    "plan-guided exploration (plan_compatible=False); "
+                    "config.plan would silently restrict what it explores"
+                )
+        if computation.plan_compatible:
+            # A plan-compatible computation interprets embeddings through
+            # its own plan; if that differs from the plan steering the
+            # runtime (including config.plan=None, i.e. exhaustive
+            # exploration), the output would be silently wrong.
+            declared = getattr(computation, "plan", None)
+            if declared is not None and declared != self.config.plan:
+                raise ValueError(
+                    "computation carries a different plan than config.plan; "
+                    "pass the same MatchingPlan to both (run_matching "
+                    "wires this up)"
+                )
         self._backend = backend
         #: Expansion of the "undefined" embedding, computed once per engine
         #: (step 0 used to rebuild it per worker; see bench note in
@@ -124,6 +148,7 @@ class ArabesqueEngine:
             collect_outputs=config.collect_outputs,
             output_limit=config.output_limit,
             two_level_aggregation=config.two_level_aggregation,
+            plan=config.plan,
             pattern_cache=canonicalizer.cache_snapshot(),
             published_aggregates=agg_channel.published(),
             universe=self._initial_universe() if step == 0 else None,

@@ -72,6 +72,28 @@ class Pattern:
         :func:`repro.isomorphism.vertex_orbits`)."""
         return pattern_orbits(self)
 
+    def is_connected(self) -> bool:
+        """Whether the pattern graph is connected (empty patterns are not).
+
+        Connected-exploration engines (both the exhaustive filter-process
+        path and the guided planner) can only discover occurrences of
+        connected patterns, so query validation starts here.
+        """
+        if self.num_vertices == 0:
+            return False
+        adjacency: dict[int, list[int]] = {v: [] for v in range(self.num_vertices)}
+        for i, j, _ in self.edges:
+            adjacency[i].append(j)
+            adjacency[j].append(i)
+        seen = {0}
+        stack = [0]
+        while stack:
+            for neighbor in adjacency[stack.pop()]:
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    stack.append(neighbor)
+        return len(seen) == self.num_vertices
+
     def wire_size(self) -> int:
         """Wire size: labels row + one triple per edge (4 bytes per int)."""
         return 4 + 4 * len(self.vertex_labels) + 12 * len(self.edges)

@@ -1,0 +1,41 @@
+"""Pattern-aware exploration planning: compile queries into guided plans.
+
+The planner subsystem turns a query :class:`~repro.core.pattern.Pattern`
+into a :class:`MatchingPlan` — a vertex matching order with per-step
+label/adjacency constraints plus symmetry-breaking order restrictions —
+and the guided generator executes it inside the runtime's step tasks,
+proposing only candidates that satisfy the next plan step.  See
+:mod:`repro.plan.planner` (compilation), :mod:`repro.plan.symmetry`
+(automorphism restrictions), and :mod:`repro.plan.guided` (execution).
+"""
+
+from .guided import (
+    guided_candidates,
+    guided_extension_check,
+    match_mapping,
+    plan_checker,
+)
+from .planner import MatchingPlan, PlanError, PlanStep, compile_plan
+from .shapes import NAMED_SHAPES, read_pattern_file, resolve_query
+from .symmetry import (
+    pattern_automorphisms,
+    satisfies_restrictions,
+    symmetry_breaking_restrictions,
+)
+
+__all__ = [
+    "MatchingPlan",
+    "NAMED_SHAPES",
+    "PlanError",
+    "PlanStep",
+    "compile_plan",
+    "guided_candidates",
+    "guided_extension_check",
+    "match_mapping",
+    "pattern_automorphisms",
+    "plan_checker",
+    "read_pattern_file",
+    "resolve_query",
+    "satisfies_restrictions",
+    "symmetry_breaking_restrictions",
+]

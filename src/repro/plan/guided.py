@@ -1,0 +1,132 @@
+"""Guided extension generation — the plan's runtime half.
+
+The exhaustive engine pairs :func:`repro.core.extension.extensions`
+("every neighbor of every member") with the Algorithm 2 canonicality
+check.  The guided path replaces both:
+
+* :func:`guided_candidates` draws candidates from the adjacency list of a
+  single *anchor* — the lowest-degree already-matched back-neighbor of the
+  next plan step — so the candidate pool shrinks from the embedding's
+  whole frontier to one neighborhood;
+* :func:`guided_extension_check` validates a candidate against the next
+  plan step (label, back-edges with edge labels, back-non-edges under
+  induced semantics, and the symmetry-breaking order restrictions).  The
+  restrictions make the check a *uniqueness* guarantee: every occurrence
+  of the query is generated through exactly one word sequence, which is
+  why the guided path needs no embedding canonicality check.
+
+Both functions are pure and operate on ``(plan, graph, words)`` only, so
+the runtime's step tasks can call them from any backend.  The check is
+also handed to ODAG extraction as the spurious-path prefix filter: a path
+through the overapproximated ODAG is a genuine partial match iff every
+prefix extension passes the plan check, mirroring how the exhaustive path
+re-applies canonicality plus the user filter (engine section 5.2).
+
+Completeness note: every valid extension of a valid partial match is
+adjacent to *all* of the next step's back-neighbors, in particular to the
+anchor — so drawing the pool from the anchor's adjacency list never
+misses a match.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..graph import LabeledGraph
+from .planner import MatchingPlan
+
+
+def guided_candidates(
+    plan: MatchingPlan, graph: LabeledGraph, words: tuple[int, ...]
+) -> Sequence[int]:
+    """Candidate pool for extending a partial match by one plan step.
+
+    Returns a sorted sequence of graph vertices (the anchor's adjacency
+    list, which :class:`~repro.graph.LabeledGraph` keeps sorted), so
+    guided exploration stays deterministic across runs, workers, and
+    backends exactly like the exhaustive generator.
+    """
+    position = len(words)
+    if position >= plan.num_steps:
+        return ()
+    step = plan.steps[position]
+    if not step.back_edges:
+        # Only the first step of a connected plan has no back-neighbor.
+        return graph.vertices()
+    anchor = min(
+        (words[earlier] for earlier, _ in step.back_edges),
+        key=lambda vertex: (graph.degree(vertex), vertex),
+    )
+    return graph.neighbors(anchor)
+
+
+def guided_extension_check(
+    plan: MatchingPlan,
+    graph: LabeledGraph,
+    parent_words: tuple[int, ...],
+    word: int,
+) -> bool:
+    """Whether ``parent_words + (word,)`` is a valid partial match.
+
+    Assumes ``parent_words`` already satisfies the plan's first
+    ``len(parent_words)`` steps (the engine only extends surviving
+    embeddings, and ODAG extraction applies this check prefix by prefix).
+    """
+    position = len(parent_words)
+    if position >= plan.num_steps:
+        return False
+    step = plan.steps[position]
+    if graph.vertex_label(word) != step.vertex_label:
+        return False
+    if word in parent_words:
+        return False
+    for earlier, edge_label in step.back_edges:
+        matched = parent_words[earlier]
+        if not graph.adjacent(word, matched):
+            return False
+        if graph.edge_label(graph.edge_id(word, matched)) != edge_label:
+            return False
+    if plan.induced:
+        for earlier in step.back_non_edges:
+            if graph.adjacent(word, parent_words[earlier]):
+                return False
+    for earlier in step.must_exceed:
+        if parent_words[earlier] >= word:
+            return False
+    for earlier in step.must_precede:
+        if parent_words[earlier] <= word:
+            return False
+    return True
+
+
+def plan_checker(
+    plan: MatchingPlan,
+) -> Callable[[LabeledGraph, tuple[int, ...], int], bool]:
+    """The plan's check with the extension-checker call signature.
+
+    Drop-in replacement for :func:`repro.core.canonical.extension_checker`
+    inside the runtime's step tasks.
+    """
+
+    def check(
+        graph: LabeledGraph, parent_words: tuple[int, ...], word: int
+    ) -> bool:
+        return guided_extension_check(plan, graph, parent_words, word)
+
+    return check
+
+
+def match_mapping(plan: MatchingPlan, words: tuple[int, ...]) -> tuple[int, ...]:
+    """Translate a full guided embedding into the match mapping.
+
+    Position ``i`` of the result holds the graph vertex matched to
+    pattern vertex ``i`` (undoing the plan's matching order).
+    """
+    if len(words) != plan.num_steps:
+        raise ValueError(
+            f"expected a full match of {plan.num_steps} words, got {len(words)}"
+        )
+    mapping = [0] * plan.num_steps
+    for position, vertex in enumerate(plan.order):
+        mapping[vertex] = words[position]
+    return tuple(mapping)

@@ -1,0 +1,197 @@
+"""Compile a query pattern into a guided exploration plan.
+
+The exhaustive filter-process engine is *exploration-agnostic*: it extends
+every canonical embedding in every direction and only afterwards asks the
+application filter whether the candidate still embeds in the query.  For
+graph matching that wastes almost all of the generated candidates.  A
+:class:`MatchingPlan` front-loads the query analysis instead:
+
+* a **vertex matching order** — pattern vertices sorted so each step's
+  vertex is adjacent to an already-matched one, highest-connectivity
+  first, so mismatches are discovered as early as possible;
+* **per-step constraints** — the required vertex label, the back-edges to
+  already-matched positions (with their edge labels), the back-non-edges
+  (induced semantics only), and the symmetry-breaking order restrictions
+  of :mod:`repro.plan.symmetry`;
+* an **anchor** choice per step — candidates are drawn from the adjacency
+  list of one already-matched back-neighbor instead of the whole frontier.
+
+The plan is immutable, picklable plain data: the process backend ships it
+to workers inside the :class:`~repro.runtime.tasks.StepContext`, and the
+actual candidate generation lives in :mod:`repro.plan.guided`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.pattern import Pattern
+from .symmetry import symmetry_breaking_restrictions
+
+
+class PlanError(ValueError):
+    """Raised when a pattern cannot be compiled into a guided plan."""
+
+
+@dataclass(frozen=True)
+class PlanStep:
+    """Constraints on the graph vertex matched at one plan position."""
+
+    #: Index of this step in the matching order (== embedding size before it).
+    position: int
+    #: The pattern vertex this step matches.
+    pattern_vertex: int
+    #: Required vertex label.
+    vertex_label: int
+    #: ``(earlier position, required edge label)`` — the candidate must be
+    #: adjacent to the vertex matched at that position, with that label.
+    back_edges: tuple[tuple[int, int], ...]
+    #: Earlier positions the candidate must NOT be adjacent to (checked
+    #: only under induced semantics).
+    back_non_edges: tuple[int, ...]
+    #: Earlier positions whose matched vertex id must be *smaller* than
+    #: the candidate (restrictions ``m(earlier) < m(this)``).
+    must_exceed: tuple[int, ...]
+    #: Earlier positions whose matched vertex id must be *larger* than
+    #: the candidate (restrictions ``m(this) < m(earlier)``).
+    must_precede: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class MatchingPlan:
+    """A compiled query: matching order + per-step constraints.
+
+    ``order[i]`` is the pattern vertex matched at step ``i``; a guided
+    embedding's word ``i`` is the graph vertex assigned to it, so a full
+    embedding of ``num_steps`` words IS a match mapping.  Symmetry
+    restrictions guarantee each distinct occurrence is found through
+    exactly one word sequence — no canonicality check needed.
+    """
+
+    pattern: Pattern
+    induced: bool
+    order: tuple[int, ...]
+    steps: tuple[PlanStep, ...]
+    #: Restrictions in pattern-vertex terms ``(u, v)`` meaning
+    #: ``m(u) < m(v)`` (also baked into the steps; kept for reporting).
+    restrictions: tuple[tuple[int, int], ...]
+    num_automorphisms: int
+
+    @property
+    def num_steps(self) -> int:
+        return len(self.steps)
+
+    def describe(self) -> str:
+        """One-line human-readable plan summary (CLI / benchmarks)."""
+        order = ",".join(map(str, self.order))
+        rules = " ".join(f"m({u})<m({v})" for u, v in self.restrictions)
+        return (
+            f"order=[{order}] |Aut|={self.num_automorphisms}"
+            f" restrictions=[{rules or 'none'}]"
+            f" semantics={'induced' if self.induced else 'monomorphic'}"
+        )
+
+
+def _matching_order(pattern: Pattern) -> tuple[int, ...]:
+    """Connectivity-first greedy order over the pattern vertices.
+
+    Start from the highest-degree vertex, then repeatedly pick the
+    unplaced vertex with the most already-placed neighbors (ties broken
+    toward higher degree, then smaller id) — the same fail-fast heuristic
+    the VF2 substitute uses, made explicit and inspectable here.
+    """
+    n = pattern.num_vertices
+    adjacency: list[set[int]] = [set() for _ in range(n)]
+    for u, v, _ in pattern.edges:
+        adjacency[u].add(v)
+        adjacency[v].add(u)
+    degree = [len(adjacency[v]) for v in range(n)]
+    start = max(range(n), key=lambda v: (degree[v], -v))
+    order = [start]
+    placed = {start}
+    while len(order) < n:
+        frontier = [v for v in range(n) if v not in placed and adjacency[v] & placed]
+        # compile_plan validates connectivity up front; an empty frontier
+        # here would mean the two checks disagree.
+        assert frontier, "disconnected pattern reached the order builder"
+        chosen = max(
+            frontier, key=lambda v: (len(adjacency[v] & placed), degree[v], -v)
+        )
+        order.append(chosen)
+        placed.add(chosen)
+    return tuple(order)
+
+
+def compile_plan(pattern: Pattern, induced: bool = True) -> MatchingPlan:
+    """Compile ``pattern`` into a :class:`MatchingPlan`.
+
+    ``induced=True`` plans for vertex-induced occurrences (back-non-edges
+    are enforced), ``False`` for monomorphisms (extra graph edges between
+    matched vertices are allowed).  Raises :class:`PlanError` for empty or
+    disconnected patterns.
+    """
+    if pattern.num_vertices == 0:
+        raise PlanError("query pattern must not be empty")
+    if not pattern.is_connected():
+        # Same wording as GraphMatching's validation — one user error,
+        # one message, whichever mode hits it first.
+        raise PlanError("query pattern must be connected")
+    order = _matching_order(pattern)
+    position_of = {vertex: i for i, vertex in enumerate(order)}
+    edge_labels = pattern.edge_dict()
+    restrictions, num_automorphisms = symmetry_breaking_restrictions(pattern)
+
+    adjacency: dict[int, dict[int, int]] = {v: {} for v in range(pattern.num_vertices)}
+    for (u, v), label in edge_labels.items():
+        adjacency[u][v] = label
+        adjacency[v][u] = label
+
+    steps: list[PlanStep] = []
+    for position, vertex in enumerate(order):
+        back_edges = tuple(
+            sorted(
+                (position_of[other], label)
+                for other, label in adjacency[vertex].items()
+                if position_of[other] < position
+            )
+        )
+        back_non_edges = tuple(
+            earlier
+            for earlier in range(position)
+            if order[earlier] not in adjacency[vertex]
+        )
+        # A restriction (u, v) is checkable once both endpoints are
+        # matched; attach it to the later position.
+        must_exceed = tuple(
+            sorted(
+                position_of[u]
+                for u, v in restrictions
+                if v == vertex and position_of[u] < position
+            )
+        )
+        must_precede = tuple(
+            sorted(
+                position_of[v]
+                for u, v in restrictions
+                if u == vertex and position_of[v] < position
+            )
+        )
+        steps.append(
+            PlanStep(
+                position=position,
+                pattern_vertex=vertex,
+                vertex_label=pattern.vertex_labels[vertex],
+                back_edges=back_edges,
+                back_non_edges=back_non_edges,
+                must_exceed=must_exceed,
+                must_precede=must_precede,
+            )
+        )
+    return MatchingPlan(
+        pattern=pattern,
+        induced=induced,
+        order=order,
+        steps=tuple(steps),
+        restrictions=restrictions,
+        num_automorphisms=num_automorphisms,
+    )

@@ -1,0 +1,120 @@
+"""Named query shapes and pattern files for the ``match`` CLI.
+
+The CLI accepts either one of the named shapes below (unlabeled — their
+vertices and edges carry the null label ``0``, matching graphs run through
+:func:`repro.graph.strip_labels`) or a pattern edge-list file:
+
+* ``u v [edge_label]`` lines declare edges (vertex ids ``0..k-1``);
+* ``v <id> <label>`` lines optionally assign vertex labels;
+* ``#`` starts a comment.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TextIO
+
+from ..core.pattern import Pattern
+
+
+def _shape(num_vertices: int, edges: list[tuple[int, int]]) -> Pattern:
+    return Pattern(
+        (0,) * num_vertices,
+        tuple(sorted((min(u, v), max(u, v), 0) for u, v in edges)),
+    )
+
+
+#: Unlabeled query shapes addressable by name from the CLI.
+NAMED_SHAPES: dict[str, Pattern] = {
+    "edge": _shape(2, [(0, 1)]),
+    "wedge": _shape(3, [(0, 1), (1, 2)]),
+    "triangle": _shape(3, [(0, 1), (0, 2), (1, 2)]),
+    "path3": _shape(4, [(0, 1), (1, 2), (2, 3)]),
+    "star3": _shape(4, [(0, 1), (0, 2), (0, 3)]),
+    "square": _shape(4, [(0, 1), (1, 2), (2, 3), (0, 3)]),
+    "tailed-triangle": _shape(4, [(0, 1), (0, 2), (1, 2), (2, 3)]),
+    "diamond": _shape(4, [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]),
+    "clique4": _shape(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]),
+    "pentagon": _shape(5, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]),
+    # Square 0-1-2-3 with a roof vertex 4 over the 0-1 wall.
+    "house": _shape(5, [(0, 1), (1, 2), (2, 3), (0, 3), (0, 4), (1, 4)]),
+}
+
+
+def read_pattern_file(source: str | Path | TextIO) -> Pattern:
+    """Parse a pattern edge-list file into a :class:`Pattern`."""
+    if hasattr(source, "read"):
+        lines = source.read().splitlines()
+    else:
+        lines = Path(source).read_text(encoding="utf-8").splitlines()
+    edges: dict[tuple[int, int], int] = {}
+    vertex_labels: dict[int, int] = {}
+    max_vertex = -1
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        fields = line.split()
+        try:
+            if fields[0] == "v":
+                if len(fields) != 3:
+                    raise ValueError("vertex lines are 'v <id> <label>'")
+                vertex, label = int(fields[1]), int(fields[2])
+                if vertex < 0:
+                    raise ValueError(f"vertex id {vertex} is negative")
+                if vertex in vertex_labels:
+                    raise ValueError(f"duplicate label for vertex {vertex}")
+                vertex_labels[vertex] = label
+                max_vertex = max(max_vertex, vertex)
+                continue
+            if len(fields) not in (2, 3):
+                raise ValueError("edge lines are 'u v [edge_label]'")
+            u, v = int(fields[0]), int(fields[1])
+            if u < 0 or v < 0:
+                raise ValueError(f"vertex ids must be >= 0 (got {u}, {v})")
+            label = int(fields[2]) if len(fields) == 3 else 0
+        except ValueError as exc:
+            raise ValueError(f"pattern file line {lineno}: {exc}") from exc
+        if u == v:
+            raise ValueError(f"pattern file line {lineno}: self-loop on {u}")
+        key = (min(u, v), max(u, v))
+        if key in edges:
+            raise ValueError(f"pattern file line {lineno}: duplicate edge {key}")
+        edges[key] = label
+        max_vertex = max(max_vertex, u, v)
+    if max_vertex < 0:
+        raise ValueError("pattern file declares no vertices")
+    referenced = set(vertex_labels)
+    for u, v in edges:
+        referenced.update((u, v))
+    missing = sorted(set(range(max_vertex + 1)) - referenced)
+    if missing:
+        # Most often a 1-based file; phantom vertex 0 would otherwise
+        # surface later as a misleading "disconnected pattern" error.
+        raise ValueError(
+            f"pattern vertex ids must be dense starting at 0; "
+            f"ids {missing} are never referenced (1-based file?)"
+        )
+    labels = tuple(vertex_labels.get(v, 0) for v in range(max_vertex + 1))
+    return Pattern(labels, tuple(sorted((u, v, l) for (u, v), l in edges.items())))
+
+
+def resolve_query(spec: str) -> Pattern:
+    """A named shape or a pattern-file path -> :class:`Pattern`.
+
+    All failure modes — unknown name, directory, unreadable file,
+    malformed contents — surface as :class:`ValueError` so callers (the
+    ``match`` CLI) need a single handler.
+    """
+    if spec in NAMED_SHAPES:
+        return NAMED_SHAPES[spec]
+    path = Path(spec)
+    if path.is_file():
+        try:
+            return read_pattern_file(path)
+        except OSError as exc:
+            raise ValueError(f"cannot read pattern file {spec!r}: {exc}") from exc
+    raise ValueError(
+        f"{spec!r} is neither a named shape "
+        f"({', '.join(sorted(NAMED_SHAPES))}) nor a readable pattern file"
+    )

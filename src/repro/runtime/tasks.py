@@ -21,6 +21,16 @@ processes while producing byte-identical results:
   backend can ship tasks across process boundaries;
 * the computation object is shallow-copied per task ⇒ the per-task context
   binding (``bind_context``) never races between threads.
+
+When the context carries a guided :class:`~repro.plan.MatchingPlan`, the
+expansion swaps its two hot pieces: candidates come from the plan's anchor
+neighborhoods (:func:`repro.plan.guided.guided_candidates`) instead of the
+whole frontier, and the per-candidate acceptance test is the plan's
+label/adjacency/symmetry check instead of Algorithm 2 — the plan's
+ordering restrictions already guarantee each occurrence is generated
+exactly once, so no canonicality check is needed.  Everything else
+(stores, aggregation, deltas, backends) is unchanged, which is what keeps
+guided runs byte-identical across backends and worker counts too.
 """
 
 from __future__ import annotations
@@ -38,6 +48,8 @@ from ..core.extension import extensions
 from ..core.pattern import Pattern, PatternCanonicalizer
 from ..core.results import StepStats, WorkerDelta
 from ..core.storage import EmbeddingStore, LIST_STORAGE, ListStore, OdagStore
+from ..plan.guided import guided_candidates, guided_extension_check, plan_checker
+from ..plan.planner import MatchingPlan
 
 
 @dataclass(frozen=True)
@@ -63,6 +75,8 @@ class StepContext:
     collect_outputs: bool
     output_limit: int | None
     two_level_aggregation: bool
+    #: Guided exploration plan; ``None`` selects the exhaustive path.
+    plan: MatchingPlan | None = None
     #: Master quick-pattern -> (canonical, mapping) cache snapshot.
     pattern_cache: dict[Pattern, tuple[Pattern, tuple[int, ...]]] = field(
         default_factory=dict
@@ -115,8 +129,15 @@ class WorkerTaskContext(ComputationContext):
         return self._context.published_aggregates.get(key)
 
 
-def _make_extension_checker(mode: str, incremental: bool):
-    """The canonicality predicate for one-word extensions (Algorithm 2)."""
+def _make_extension_checker(mode: str, incremental: bool, plan=None):
+    """The acceptance predicate for one-word extensions.
+
+    Exhaustive mode uses the canonicality check (Algorithm 2); guided mode
+    uses the plan's per-step constraint check, whose symmetry restrictions
+    subsume canonicality's dedup role.
+    """
+    if plan is not None:
+        return plan_checker(plan)
     if incremental:
         return extension_checker(mode)
     full = full_checker(mode)
@@ -198,6 +219,7 @@ def _initial_pass(
     phase_seconds = delta.phase_seconds
     universe = context.universe
     assert universe is not None, "step-0 context must carry the universe"
+    plan = context.plan
     total = len(universe)
     num_workers = context.num_workers
     start = total * worker_id // num_workers
@@ -206,6 +228,8 @@ def _initial_pass(
     for index in range(start, end):
         word = universe[index]
         stats.candidates_generated += 1
+        if plan is not None and not guided_extension_check(plan, graph, (), word):
+            continue
         stats.canonical_candidates += 1  # single words are canonical
         work += 1
         embedding = make_embedding(graph, mode, (word,))
@@ -240,9 +264,16 @@ def _expansion_pass(
     """Steps >= 1: read a share of set I, apply α/β, expand, φ/π, write."""
     graph = context.graph
     mode = context.mode
+    plan = context.plan
     check_extension = _make_extension_checker(
-        mode, context.incremental_canonicality
+        mode, context.incremental_canonicality, plan
     )
+    if plan is None:
+        def generate(words: tuple[int, ...]):
+            return extensions(graph, mode, words)
+    else:
+        def generate(words: tuple[int, ...]):
+            return guided_candidates(plan, graph, words)
     profile = context.profile_phases
     verify_pattern = context.storage != LIST_STORAGE
     stats = delta.counters
@@ -253,8 +284,10 @@ def _expansion_pass(
 
     def prefix_ok(words: tuple[int, ...]) -> bool:
         """Spurious-path filter for ODAG extraction: the incremental
-        canonicality check plus φ on the prefix (both anti-monotone,
-        so failing prefixes prune whole subtrees — section 5.2)."""
+        acceptance check (Algorithm 2 canonicality, or the plan's
+        constraint check in guided mode) plus φ on the prefix (both
+        anti-monotone, so failing prefixes prune whole subtrees —
+        section 5.2)."""
         if not check_extension(graph, words[:-1], words[-1]):
             return False
         return computation.filter(make_embedding(graph, mode, words))
@@ -293,10 +326,10 @@ def _expansion_pass(
 
         if profile:
             t0 = time.perf_counter()
-            candidate_words = extensions(graph, mode, words)
+            candidate_words = generate(words)
             _add_phase(phase_seconds, "G", time.perf_counter() - t0)
         else:
-            candidate_words = extensions(graph, mode, words)
+            candidate_words = generate(words)
 
         for word in candidate_words:
             stats.candidates_generated += 1

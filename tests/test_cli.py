@@ -89,3 +89,100 @@ class TestCommands:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestMatchCommand:
+    def _match_count(self, out: str) -> int:
+        for line in out.splitlines():
+            if " matches, " in line:
+                return int(line.split(":")[-1].split("matches")[0].strip().replace(",", ""))
+        raise AssertionError(f"no match-count line in {out!r}")
+
+    def test_named_shape_exhaustive_default(self, capsys, edge_list_file):
+        assert main(["match", str(edge_list_file), "triangle"]) == 0
+        out = capsys.readouterr().out
+        assert "exhaustive" in out
+        assert "plan:" not in out
+
+    def test_guided_prints_plan_and_agrees_with_exhaustive(
+        self, capsys, edge_list_file
+    ):
+        assert main(["match", str(edge_list_file), "square", "--guided"]) == 0
+        guided_out = capsys.readouterr().out
+        assert "plan: order=" in guided_out
+        assert "|Aut|=" in guided_out
+        assert main(["match", str(edge_list_file), "square", "--exhaustive"]) == 0
+        exhaustive_out = capsys.readouterr().out
+        assert self._match_count(guided_out) == self._match_count(exhaustive_out)
+
+    def test_monomorphic_semantics(self, capsys, edge_list_file):
+        assert main(
+            ["match", str(edge_list_file), "wedge", "--guided", "--monomorphic"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "monomorphic" in out
+
+    def test_verbose_lists_matches(self, capsys, edge_list_file):
+        assert main(
+            ["match", str(edge_list_file), "edge", "--guided", "--verbose"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "(0," in out or "(1," in out
+
+    def test_pattern_file_query(self, capsys, tmp_path, edge_list_file):
+        pattern_file = tmp_path / "wedge.pattern"
+        pattern_file.write_text("# a wedge\n0 1\n1 2\n")
+        assert main(
+            ["match", str(edge_list_file), str(pattern_file), "--guided"]
+        ) == 0
+        file_out = capsys.readouterr().out
+        assert main(["match", str(edge_list_file), "wedge", "--guided"]) == 0
+        named_out = capsys.readouterr().out
+        assert self._match_count(file_out) == self._match_count(named_out)
+
+    def test_unknown_query_rejected(self, edge_list_file):
+        with pytest.raises(SystemExit):
+            main(["match", str(edge_list_file), "not-a-shape"])
+
+    def test_labeled_query_without_labeled_flag_rejected(
+        self, tmp_path, edge_list_file
+    ):
+        # Graph labels are stripped by default; a labeled query would
+        # silently match nothing, so it must be refused instead.
+        pattern_file = tmp_path / "labeled.pattern"
+        pattern_file.write_text("v 0 1\n0 1\n1 2\n")
+        with pytest.raises(SystemExit, match="labeled"):
+            main(["match", str(edge_list_file), str(pattern_file)])
+        # With --labeled the same query runs (match count depends on the
+        # graph's actual labels).
+        assert main(
+            ["match", str(edge_list_file), str(pattern_file), "--labeled"]
+        ) == 0
+
+    def test_directory_query_rejected_cleanly(self, tmp_path, edge_list_file):
+        # A directory passes Path.exists() but not is_file(); must exit
+        # cleanly, not dump an IsADirectoryError traceback.
+        with pytest.raises(SystemExit):
+            main(["match", str(edge_list_file), str(tmp_path)])
+
+    @pytest.mark.parametrize("mode_flag", ["--exhaustive", "--guided"])
+    def test_disconnected_query_rejected_cleanly(
+        self, tmp_path, edge_list_file, mode_flag
+    ):
+        # Connected exploration cannot find disconnected occurrences; both
+        # modes must refuse instead of confidently reporting 0 matches.
+        pattern_file = tmp_path / "disconnected.pattern"
+        pattern_file.write_text("0 1\n2 3\n")
+        with pytest.raises(SystemExit, match="connected"):
+            main(["match", str(edge_list_file), str(pattern_file), mode_flag])
+
+    def test_guided_and_exhaustive_flags_conflict(self, edge_list_file):
+        with pytest.raises(SystemExit):
+            main(["match", str(edge_list_file), "triangle",
+                  "--guided", "--exhaustive"])
+
+    def test_match_with_workers_and_backend(self, capsys, edge_list_file):
+        assert main(
+            ["match", str(edge_list_file), "triangle", "--guided",
+             "--num-workers", "3", "--backend", "thread"]
+        ) == 0
