@@ -18,10 +18,9 @@ This example runs that workflow end to end on a synthetic PPI-like network:
 
 import random
 
-from repro import run_computation, ArabesqueConfig
-from repro.apps import MotifCounting, motif_counts_by_size
 from repro.datasets import scale_free_graph
 from repro.graph import LabeledGraph
+from repro.session import Miner
 
 
 def rewire(graph: LabeledGraph, seed: int = 0, passes: int = 10) -> LabeledGraph:
@@ -74,10 +73,9 @@ def shape_name(pattern) -> str:
 
 
 def census(graph: LabeledGraph) -> dict:
-    config = ArabesqueConfig(collect_outputs=False)
-    result = run_computation(graph, MotifCounting(max_size=4), config)
+    result = Miner(graph).motifs(max_size=4).collect(False).run()
     merged = {}
-    for size, counts in motif_counts_by_size(result).items():
+    for size, counts in result.by_size().items():
         merged.update(counts)
     return merged
 

@@ -16,9 +16,8 @@ edge-label-aware FSM application, and prints them as readable triples.
 
 import random
 
-from repro import ArabesqueConfig, run_computation
-from repro.apps import FrequentSubgraphMining, frequent_patterns
 from repro.graph import GraphBuilder
+from repro.session import Miner
 
 # Vertex classes.
 AUTHOR, PAPER, VENUE, INSTITUTION = range(4)
@@ -86,11 +85,10 @@ def main() -> None:
           f"{graph.num_edges} triples")
 
     threshold = 40
-    config = ArabesqueConfig(collect_outputs=False)
-    result = run_computation(
-        graph, FrequentSubgraphMining(threshold, max_edges=3), config
+    result = (
+        Miner(graph).fsm(threshold, max_edges=3).collect(False).run()
     )
-    frequent = frequent_patterns(result, threshold)
+    frequent = result.patterns()
 
     print(f"\nfrequent schema patterns (MNI support >= {threshold}):\n")
     for pattern, support in sorted(

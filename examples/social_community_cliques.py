@@ -18,9 +18,8 @@ job is "run" at several worker counts and the simulated makespans printed.
 import itertools
 import random
 
-from repro import ArabesqueConfig, run_computation
-from repro.apps import CliqueFinding, cliques_by_size
 from repro.graph import GraphBuilder
+from repro.session import Miner
 
 
 def planted_communities(
@@ -80,8 +79,10 @@ def main() -> None:
     print(f"network: {graph.num_vertices} people, {graph.num_edges} ties, "
           f"{len(planted)} planted communities")
 
-    result = run_computation(graph, CliqueFinding(max_size=4, min_size=3))
-    by_size = cliques_by_size(result)
+    # One session for the whole analysis: the worker-count sweep below
+    # reuses the session's cached step-0 state instead of re-deriving it.
+    miner = Miner(graph)
+    by_size = miner.cliques(max_size=4, min_size=3).run().by_size()
     print(f"triangles: {len(by_size.get(3, [])):,}   "
           f"4-cliques: {len(by_size.get(4, [])):,}")
 
@@ -101,10 +102,13 @@ def main() -> None:
 
     print("\nsimulated distributed execution of the same mining job:")
     for workers in (1, 4, 16):
-        config = ArabesqueConfig(num_workers=workers, collect_outputs=False)
-        run = run_computation(graph, CliqueFinding(max_size=4, min_size=3), config)
-        print(f"  {workers:>2} workers: simulated makespan {run.makespan():.4f}s, "
-              f"{run.metrics.total_messages:,} messages")
+        run = (
+            miner.cliques(max_size=4, min_size=3)
+            .workers(workers).collect(False).run()
+        )
+        print(f"  {workers:>2} workers: simulated makespan "
+              f"{run.makespan():.4f}s, "
+              f"{run.raw.metrics.total_messages:,} messages")
 
 
 if __name__ == "__main__":

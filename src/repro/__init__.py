@@ -6,23 +6,27 @@ instances (embeddings), the application supplies ``filter``/``process``
 functions, and the runtime handles dedup (embedding canonicality), storage
 (ODAGs), aggregation (two-level pattern aggregation), and load balancing.
 
-Quickstart::
+Quickstart — the :class:`~repro.session.Miner` session facade is the
+front door::
 
-    from repro import ArabesqueConfig, run_computation
-    from repro.apps import MotifCounting, motif_counts
+    from repro import Miner
     from repro.datasets import citeseer_like
 
-    result = run_computation(citeseer_like(), MotifCounting(max_size=3))
-    for pattern, count in motif_counts(result).items():
+    miner = Miner(citeseer_like())
+    for pattern, count in miner.motifs(max_size=3).unlabeled().run().counts().items():
         print(pattern, count)
+    squares = miner.match("square").unlabeled().workers(4).run()
 
 Package map (see DESIGN.md for the full inventory):
 
+* :mod:`repro.session` — the fluent ``Miner`` facade (queries, typed
+  results, per-session plan/universe caching);
 * :mod:`repro.graph` — immutable labeled graphs, generators, I/O;
 * :mod:`repro.isomorphism` — canonical labeling (bliss substitute), VF2;
 * :mod:`repro.bsp` — in-process BSP engine with metered communication;
 * :mod:`repro.core` — the filter-process model and execution techniques;
-* :mod:`repro.apps` — FSM, motifs, cliques, maximal cliques;
+* :mod:`repro.plan` — pattern-aware guided exploration planner;
+* :mod:`repro.apps` — FSM, motifs, cliques, maximal cliques, matching;
 * :mod:`repro.baselines` — TLV, TLP, GRAMI/G-Tries/Mace substitutes;
 * :mod:`repro.datasets` — synthetic equivalents of the paper's graphs.
 """
@@ -37,6 +41,7 @@ from .core import (
     run_computation,
 )
 from .graph import GraphBuilder, LabeledGraph
+from .session import Miner, SessionError
 
 __version__ = "1.0.0"
 
@@ -47,8 +52,10 @@ __all__ = [
     "Embedding",
     "GraphBuilder",
     "LabeledGraph",
+    "Miner",
     "Pattern",
     "RunResult",
+    "SessionError",
     "run_computation",
     "__version__",
 ]

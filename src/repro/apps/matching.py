@@ -28,8 +28,6 @@ Two execution strategies share this module:
 
 from __future__ import annotations
 
-import dataclasses
-
 from ..core.computation import Computation
 from ..core.config import ArabesqueConfig
 from ..core.embedding import (
@@ -41,7 +39,7 @@ from ..core.pattern import Pattern
 from ..core.results import RunResult
 from ..graph import LabeledGraph
 from ..isomorphism import SubgraphMatcher
-from ..plan.planner import MatchingPlan, compile_plan
+from ..plan.planner import MatchingPlan
 
 
 def _pattern_as_graph(pattern: Pattern) -> LabeledGraph:
@@ -174,48 +172,47 @@ def run_matching(
 ) -> RunResult:
     """Retrieve all matches of ``query`` in ``graph``.
 
-    ``guided=False`` (the default, and the oracle the guided path is
+    .. deprecated::
+        Thin wrapper kept for compatibility — use the session facade
+        instead: ``Miner(graph).match(query).run()`` (guided, the facade
+        default) or ``...match(query).exhaustive().run()``.  The facade
+        additionally caches compiled plans and step-0 state across
+        queries on one graph.
+
+    ``guided=False`` (the default here, and the oracle the guided path is
     validated against) runs the exhaustive :class:`GraphMatching`
-    filter-process computation.  ``guided=True`` compiles the query into
-    a :class:`~repro.plan.MatchingPlan` and runs :class:`GuidedMatching`
-    on the plan-guided runtime path.  Both modes emit one
-    ``tuple(sorted(vertices))`` per match and agree on the multiset.
-
-    Callers that already compiled the query (e.g. to show the plan) can
-    pass it as ``plan`` to skip recompilation; its semantics must agree
-    with ``induced``.  A caller-supplied ``config`` is reused with its
-    ``plan`` field forced to match the chosen mode (any other fields —
-    workers, backend, storage — apply to both paths).
+    filter-process computation.  ``guided=True`` runs
+    :class:`GuidedMatching` on the plan-guided runtime path.  Both modes
+    emit one ``tuple(sorted(vertices))`` per match and agree on the
+    multiset.  A caller-supplied ``config`` is reused with its ``plan``
+    field forced to match the chosen mode; ``plan`` skips recompilation
+    (guided mode only).
     """
-    base = config if config is not None else ArabesqueConfig()
-    from ..core.engine import run_computation
+    import warnings
 
-    if guided:
-        if plan is None:
-            plan = compile_plan(query.canonical(), induced=induced)
-        elif plan.induced != induced:
-            raise ValueError(
-                f"precompiled plan has induced={plan.induced}, "
-                f"but induced={induced} was requested"
-            )
-        elif plan.pattern != query.canonical():
-            raise ValueError(
-                "precompiled plan was built from a different query pattern"
-            )
-        return run_computation(
-            graph, GuidedMatching(plan), dataclasses.replace(base, plan=plan)
-        )
-    if plan is not None:
+    warnings.warn(
+        "run_matching is deprecated; use "
+        "repro.session.Miner(graph).match(query) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from ..session import Miner
+
+    if not guided and plan is not None:
         raise ValueError(
             "a precompiled plan was supplied but guided=False; "
             "pass guided=True to run the plan-guided path"
         )
-    exhaustive_config = (
-        base if base.plan is None else dataclasses.replace(base, plan=None)
-    )
-    return run_computation(
-        graph, GraphMatching(query, induced=induced), exhaustive_config
-    )
+    request = Miner(graph).match(query, induced=induced)
+    if config is not None:
+        request.config(config)
+    if guided:
+        request.guided()
+        if plan is not None:
+            request.plan(plan)
+    else:
+        request.exhaustive()
+    return request.run().raw
 
 
 def match_vertex_sets(result: RunResult) -> list[tuple[int, ...]]:

@@ -10,8 +10,6 @@ definition to labeled patterns").
 
 from __future__ import annotations
 
-import dataclasses
-
 from ..core.computation import Computation
 from ..core.config import ArabesqueConfig
 from ..core.embedding import Embedding, VERTEX_EXPLORATION
@@ -81,6 +79,10 @@ def single_motif_count(
 ) -> int:
     """Count the vertex-induced embeddings of ONE motif shape.
 
+    .. deprecated::
+        Thin wrapper kept for compatibility — use the session facade:
+        ``Miner(graph).match(motif).count()``.
+
     Exhaustive :class:`MotifCounting` explores every motif of the size
     class and reads one entry of the distribution; when only a single
     shape matters this is the planner fast path — a guided induced match
@@ -91,14 +93,18 @@ def single_motif_count(
 
     Outputs are not collected — only the exact count is returned.
     """
-    from .matching import run_matching
+    import warnings
 
-    base = config if config is not None else ArabesqueConfig()
-    result = run_matching(
-        graph,
-        motif,
-        induced=True,
-        guided=guided,
-        config=dataclasses.replace(base, collect_outputs=False),
+    warnings.warn(
+        "single_motif_count is deprecated; use "
+        "repro.session.Miner(graph).match(motif).count() instead",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    return result.num_outputs
+    from ..session import Miner
+
+    request = Miner(graph).match(motif, induced=True)
+    if config is not None:
+        request.config(config)
+    request.guided() if guided else request.exhaustive()
+    return request.count()

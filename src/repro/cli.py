@@ -2,30 +2,35 @@
 
 Usage::
 
-    python -m repro motifs  GRAPH --max-size 3
-    python -m repro cliques GRAPH --max-size 4 [--maximal]
-    python -m repro fsm     GRAPH --support 100 [--max-edges 3]
-    python -m repro match   GRAPH QUERY [--guided | --exhaustive]
-    python -m repro stats   GRAPH
+    python -m repro motifs          GRAPH --max-size 3
+    python -m repro cliques         GRAPH --max-size 4 [--maximal]
+    python -m repro maximal-cliques GRAPH --max-size 5
+    python -m repro fsm             GRAPH --support 100 [--max-edges 3]
+    python -m repro match           GRAPH QUERY [--exhaustive]
+    python -m repro stats           GRAPH
 
 ``GRAPH`` is an edge-list file (see :func:`repro.graph.read_edge_list`) or
 one of the built-in synthetic dataset names (``citeseer``, ``mico``,
 ``patents``, ``youtube``, ``sn``, ``instagram``); built-ins accept
 ``--scale`` to resize.  Results are printed as plain text.
 
-``--num-workers`` partitions the exploration across N logical workers and
-reports the metered distribution; ``--backend`` picks the execution runtime
-that actually runs them (``serial``, ``thread``, or ``process`` — see
-:mod:`repro.runtime`).  ``--backend process --num-workers N`` uses N OS
-processes for a real multi-core speedup; results are identical across
-backends and worker counts by construction.
+Every subcommand is a thin shell over the session facade
+(:class:`repro.session.Miner`): one ``Miner`` is opened per invocation and
+the subcommand chains its options onto a fluent query.  The shared flags
+map one-to-one — ``--num-workers`` → ``.workers()``, ``--backend`` →
+``.backend()`` (``serial``, ``thread``, or ``process``; ``process`` uses
+one OS process per worker chunk for real multi-core speedup), and
+``--storage`` → ``.storage()`` (``odag``, ``list``, or ``adaptive``;
+unset lets the facade pick).  Results are identical across backends and
+worker counts by construction.
 
 ``match`` retrieves every occurrence of a query pattern — a named shape
 (``triangle``, ``square``, ``wedge``, ...) or a pattern edge-list file (see
-:func:`repro.plan.read_pattern_file`).  ``--exhaustive`` (default) runs the
-filter-process oracle; ``--guided`` compiles the query into a pattern-aware
+:func:`repro.plan.read_pattern_file`).  Plan-guided execution is the
+default, mirroring the facade: the query is compiled into a pattern-aware
 exploration plan (:mod:`repro.plan`) that proposes only plan-compatible
-candidates — identical matches, a fraction of the candidates.
+candidates.  ``--exhaustive`` opts out into the filter-process oracle —
+identical matches, many more candidates.
 """
 
 from __future__ import annotations
@@ -34,21 +39,11 @@ import argparse
 import sys
 from pathlib import Path
 
-from .apps import (
-    CliqueFinding,
-    FrequentSubgraphMining,
-    MaximalCliqueFinding,
-    MotifCounting,
-    cliques_by_size,
-    frequent_patterns,
-    match_vertex_sets,
-    motif_counts,
-    run_matching,
-)
-from .core import ArabesqueConfig, BACKENDS, SERIAL_BACKEND, run_computation
+from .core import BACKENDS, SERIAL_BACKEND, STORAGE_MODES
 from .datasets import DATASETS, dataset_statistics
-from .graph import LabeledGraph, read_edge_list, strip_labels
-from .plan import NAMED_SHAPES, compile_plan, resolve_query
+from .graph import LabeledGraph, read_edge_list
+from .plan import NAMED_SHAPES
+from .session import Miner, Query
 
 
 def load_graph(spec: str, scale: float | None) -> LabeledGraph:
@@ -65,119 +60,128 @@ def load_graph(spec: str, scale: float | None) -> LabeledGraph:
     return read_edge_list(path, name=path.stem)
 
 
-def run_config(args: argparse.Namespace, **overrides) -> ArabesqueConfig:
-    """Engine configuration from the shared CLI flags."""
-    return ArabesqueConfig(
-        num_workers=args.workers, backend=args.backend, **overrides
-    )
+def open_session(args: argparse.Namespace) -> Miner:
+    """The one shared loading path: CLI args -> a mining session.
+
+    Every subcommand goes through here, so graph resolution (dataset name
+    vs. file) and ``--scale`` handling live in exactly one place.
+    """
+    return Miner(load_graph(args.graph, args.scale))
 
 
-def _print_run_summary(result) -> None:
-    print(f"# steps={result.num_steps} processed={result.total_processed:,} "
-          f"makespan={result.makespan():.4f}s "
-          f"messages={result.metrics.total_messages:,}")
+def configure(query: Query, args: argparse.Namespace) -> Query:
+    """Chain the shared CLI flags onto a facade query.
+
+    Handles the flags every subcommand shares — workers, backend, storage
+    — plus the per-command ones when present: ``--labeled`` (subcommands
+    that default to label-stripped runs chain ``.unlabeled()`` unless the
+    flag is given) and ``--limit``.
+    """
+    query.workers(args.workers).backend(args.backend)
+    if args.storage is not None:
+        query.storage(args.storage)
+    if not getattr(args, "labeled", True):
+        query.unlabeled()
+    limit = getattr(args, "limit", None)
+    if limit is not None:
+        query.limit(limit)
+    return query
+
+
+def _print_clique_sizes(result, verbose: bool) -> None:
+    for size, cliques in sorted(result.by_size().items()):
+        kind = "maximal cliques" if result.maximal else "cliques"
+        print(f"size {size}: {len(cliques):,} {kind}")
+        if verbose:
+            for clique in cliques[:10]:
+                print(f"  {clique}")
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
-    graph = load_graph(args.graph, args.scale)
-    stats = dataset_statistics(graph)
+    session = open_session(args)
+    stats = dataset_statistics(session.graph)
     print(f"{'dataset':<16} {'V':>9} {'E':>11} {'labels':>6} {'avg deg':>8}")
     print(stats.row())
     return 0
 
 
 def cmd_motifs(args: argparse.Namespace) -> int:
-    graph = load_graph(args.graph, args.scale)
-    if not args.labeled:
-        graph = strip_labels(graph)
-    config = run_config(args, collect_outputs=False)
-    result = run_computation(graph, MotifCounting(args.max_size), config)
+    session = open_session(args)
+    query = configure(session.motifs(max_size=args.max_size), args)
+    result = query.collect(False).run()
     for pattern, count in sorted(
-        motif_counts(result).items(),
+        result.counts().items(),
         key=lambda kv: (kv[0].num_vertices, -kv[1]),
     ):
         edges = ",".join(f"{i}-{j}" for i, j, _ in pattern.edges)
         print(f"motif v={pattern.num_vertices} edges=[{edges}] count={count:,}")
-    _print_run_summary(result)
+    print(result.summary())
     return 0
 
 
 def cmd_cliques(args: argparse.Namespace) -> int:
-    graph = load_graph(args.graph, args.scale)
+    session = open_session(args)
     if args.maximal:
-        app = MaximalCliqueFinding(max_size=args.max_size)
+        query = session.maximal_cliques(max_size=args.max_size)
     else:
-        app = CliqueFinding(max_size=args.max_size, min_size=args.min_size)
-    config = run_config(args, output_limit=args.limit)
-    result = run_computation(graph, app, config)
-    for size, cliques in sorted(cliques_by_size(result).items()):
-        print(f"size {size}: {len(cliques):,} cliques")
-        if args.verbose:
-            for clique in cliques[:10]:
-                print(f"  {clique}")
-    _print_run_summary(result)
+        query = session.cliques(max_size=args.max_size, min_size=args.min_size)
+    result = configure(query, args).run()
+    _print_clique_sizes(result, args.verbose)
+    print(result.summary())
+    return 0
+
+
+def cmd_maximal_cliques(args: argparse.Namespace) -> int:
+    session = open_session(args)
+    result = configure(session.maximal_cliques(max_size=args.max_size), args).run()
+    _print_clique_sizes(result, args.verbose)
+    print(result.summary())
     return 0
 
 
 def cmd_fsm(args: argparse.Namespace) -> int:
-    graph = load_graph(args.graph, args.scale)
-    config = run_config(args, collect_outputs=False)
-    app = FrequentSubgraphMining(args.support, max_edges=args.max_edges)
-    result = run_computation(graph, app, config)
+    session = open_session(args)
+    query = configure(
+        session.fsm(args.support, max_edges=args.max_edges), args
+    )
+    result = query.collect(False).run()
     for pattern, support in sorted(
-        frequent_patterns(result, args.support).items(),
+        result.patterns().items(),
         key=lambda kv: (kv[0].num_edges, -kv[1]),
     ):
         labels = "/".join(map(str, pattern.vertex_labels))
         edges = ",".join(f"{i}-{j}" for i, j, _ in pattern.edges)
         print(f"pattern labels=[{labels}] edges=[{edges}] support={support}")
-    _print_run_summary(result)
+    print(result.summary())
     return 0
 
 
 def cmd_match(args: argparse.Namespace) -> int:
-    graph = load_graph(args.graph, args.scale)
-    if not args.labeled:
-        graph = strip_labels(graph)
+    session = open_session(args)
     induced = not args.monomorphic
-    config = run_config(args, output_limit=args.limit)
     # One handler for the whole matching layer: unknown shapes, malformed
-    # pattern files, and disconnected queries (PlanError from compile_plan
-    # in guided mode, GraphMatching's validation in exhaustive mode) all
-    # exit cleanly instead of dumping a traceback.
+    # pattern files, disconnected queries, and labeled queries against a
+    # stripped graph all exit cleanly instead of dumping a traceback.
     try:
-        query = resolve_query(args.query)
-        if not args.labeled and (
-            any(query.vertex_labels)
-            or any(label for _, _, label in query.edges)
-        ):
-            # The graph's labels were just stripped to 0; a labeled query
-            # would silently match nothing.
-            raise ValueError(
-                "query pattern carries labels but graph labels are "
-                "stripped by default; pass --labeled to match them"
-            )
-        plan = None
-        if args.guided:
-            plan = compile_plan(query.canonical(), induced=induced)
-            print(f"plan: {plan.describe()}")
-        result = run_matching(
-            graph, query, induced=induced, guided=args.guided,
-            config=config, plan=plan,
-        )
-    except ValueError as exc:
+        query = configure(session.match(args.query, induced=induced), args)
+        if not args.guided:
+            query.exhaustive()
+        result = query.run()
+        if result.guided:
+            print(f"plan: {result.plan.describe()}")
+    except ValueError as exc:  # SessionError is a ValueError
         raise SystemExit(f"error: {exc}")
-    mode = "guided" if args.guided else "exhaustive"
+    mode = "guided" if result.guided else "exhaustive"
     semantics = "induced" if induced else "monomorphic"
     print(
         f"query {args.query!r} ({semantics}, {mode}): "
-        f"{result.num_outputs:,} matches, "
-        f"{result.total_candidates:,} candidates generated"
+        f"{result.num_matches:,} matches, "
+        f"{result.raw.total_candidates:,} candidates generated"
     )
     if args.verbose:
-        for match in match_vertex_sets(result)[:20]:
+        for match in result.vertex_sets()[:20]:
             print(f"  {match}")
-    _print_run_summary(result)
+    print(result.summary())
     return 0
 
 
@@ -205,6 +209,10 @@ def build_parser() -> argparse.ArgumentParser:
                               "CPython), 'process' on one OS process per "
                               "worker chunk for real multi-core speedup "
                               "(default: serial)")
+        sub.add_argument("--storage", choices=STORAGE_MODES, default=None,
+                         help="embedding storage strategy (default: let "
+                              "the session pick — ODAG, except list for "
+                              "plan-guided matches)")
 
     stats = subparsers.add_parser("stats", help="print dataset statistics")
     common(stats)
@@ -228,6 +236,19 @@ def build_parser() -> argparse.ArgumentParser:
     cliques.add_argument("--verbose", action="store_true")
     cliques.set_defaults(handler=cmd_cliques)
 
+    maximal = subparsers.add_parser(
+        "maximal-cliques",
+        help="enumerate maximal cliques (those contained in no larger one)",
+    )
+    common(maximal)
+    maximal.add_argument("--max-size", type=int, default=None,
+                         help="optional cap; cliques of exactly this size "
+                              "are reported when maximal in the full graph")
+    maximal.add_argument("--limit", type=int, default=100_000,
+                         help="cap on collected cliques")
+    maximal.add_argument("--verbose", action="store_true")
+    maximal.set_defaults(handler=cmd_maximal_cliques)
+
     match = subparsers.add_parser(
         "match", help="retrieve all occurrences of a query pattern"
     )
@@ -241,15 +262,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     strategy = match.add_mutually_exclusive_group()
     strategy.add_argument(
-        "--guided", dest="guided", action="store_true", default=False,
+        "--guided", dest="guided", action="store_true", default=True,
         help="compile the query into a pattern-aware exploration plan "
              "(matching order + symmetry breaking) and only generate "
-             "plan-compatible candidates",
+             "plan-compatible candidates (default)",
     )
     strategy.add_argument(
         "--exhaustive", dest="guided", action="store_false",
-        help="exploration-agnostic filter-process matching (default; "
-             "the oracle the guided mode is validated against)",
+        help="exploration-agnostic filter-process matching — the oracle "
+             "the guided mode is validated against",
     )
     match.add_argument(
         "--monomorphic", action="store_true",

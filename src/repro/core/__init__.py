@@ -35,6 +35,7 @@ from .storage import (
     ADAPTIVE_STORAGE,
     LIST_STORAGE,
     ODAG_STORAGE,
+    STORAGE_MODES,
     EmbeddingStore,
     ListStore,
     OdagStore,
@@ -65,6 +66,7 @@ __all__ = [
     "PatternCanonicalizer",
     "RunResult",
     "SERIAL_BACKEND",
+    "STORAGE_MODES",
     "StepStats",
     "THREAD_BACKEND",
     "VERTEX_EXPLORATION",

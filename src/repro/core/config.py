@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from ..bsp.cost_model import CostModel
-from .storage import ADAPTIVE_STORAGE, LIST_STORAGE, ODAG_STORAGE
+from .storage import ODAG_STORAGE, STORAGE_MODES
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (plan -> core)
     from ..plan.planner import MatchingPlan
@@ -78,8 +78,11 @@ class ArabesqueConfig:
     def __post_init__(self) -> None:
         if self.num_workers < 1:
             raise ValueError("num_workers must be >= 1")
-        if self.storage not in (ODAG_STORAGE, LIST_STORAGE, ADAPTIVE_STORAGE):
-            raise ValueError(f"unknown storage mode {self.storage!r}")
+        if self.storage not in STORAGE_MODES:
+            raise ValueError(
+                f"unknown storage mode {self.storage!r} "
+                f"(choose from {STORAGE_MODES})"
+            )
         if self.backend not in BACKENDS:
             raise ValueError(
                 f"unknown backend {self.backend!r} (choose from {BACKENDS})"

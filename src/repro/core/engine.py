@@ -73,6 +73,11 @@ class ArabesqueEngine:
     ``backend`` overrides the backend that ``config.backend`` would select
     (useful for injecting a tuned/instrumented backend); when the engine
     builds the backend itself it also closes it when the run finishes.
+
+    ``universe`` injects a precomputed step-0 candidate set (every vertex
+    or every edge, depending on the computation's exploration mode).  A
+    session running many queries against one graph (:class:`repro.session.Miner`)
+    computes it once and reuses it; ``None`` (default) computes it here.
     """
 
     def __init__(
@@ -81,6 +86,7 @@ class ArabesqueEngine:
         computation: Computation,
         config: ArabesqueConfig | None = None,
         backend: ExecutionBackend | None = None,
+        universe: tuple[int, ...] | None = None,
     ) -> None:
         self.graph = graph
         self.computation = computation
@@ -115,8 +121,20 @@ class ArabesqueEngine:
         self._backend = backend
         #: Expansion of the "undefined" embedding, computed once per engine
         #: (step 0 used to rebuild it per worker; see bench note in
-        #: benchmarks/_harness.py).
-        self._universe: tuple[int, ...] | None = None
+        #: benchmarks/_harness.py) — or injected by a session that already
+        #: computed it for this graph and mode.
+        if universe is not None:
+            expected = (
+                graph.num_vertices
+                if self._mode == VERTEX_EXPLORATION
+                else graph.num_edges
+            )
+            if len(universe) != expected:
+                raise ValueError(
+                    f"injected universe has {len(universe)} candidates but "
+                    f"{self._mode} exploration of this graph needs {expected}"
+                )
+        self._universe = tuple(universe) if universe is not None else None
 
     # ------------------------------------------------------------------
     def _initial_universe(self) -> tuple[int, ...]:
@@ -348,6 +366,9 @@ def run_computation(
     computation: Computation,
     config: ArabesqueConfig | None = None,
     backend: ExecutionBackend | None = None,
+    universe: tuple[int, ...] | None = None,
 ) -> RunResult:
     """One-call convenience wrapper: build an engine and run it."""
-    return ArabesqueEngine(graph, computation, config, backend=backend).run()
+    return ArabesqueEngine(
+        graph, computation, config, backend=backend, universe=universe
+    ).run()

@@ -30,6 +30,10 @@ LIST_STORAGE = "list"
 #: exploration steps with very large and sparse graphs ... we can revert to
 #: using embedding lists").
 ADAPTIVE_STORAGE = "adaptive"
+#: Every valid ``ArabesqueConfig.storage`` value — the single source of
+#: truth shared by config validation, the CLI's ``--storage`` choices, and
+#: the session facade's ``.storage()`` option.
+STORAGE_MODES = (ODAG_STORAGE, LIST_STORAGE, ADAPTIVE_STORAGE)
 
 
 def _pattern_sort_key(pattern: Pattern) -> tuple:

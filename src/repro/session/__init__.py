@@ -1,0 +1,52 @@
+"""Unified fluent mining API: one session facade over engine, plan, runtime.
+
+This package is the system's front door.  :class:`Miner` wraps a loaded
+graph; its workload methods (``motifs``, ``match``, ``fsm``, ``cliques``,
+``maximal_cliques``, ``compute``) return chainable :class:`Query` objects
+whose options (``backend``, ``workers``, ``storage``, ``limit``,
+``collect``, ``unlabeled``, ``exhaustive``/``guided``/``plan``) are
+validated loudly at build time; ``.run()`` yields typed result views and
+``.stream()`` an iterator.  Pattern queries compile
+:class:`~repro.plan.MatchingPlan` objects transparently (guided execution
+is the default) and the session caches plans, the step-0 universe, and
+the stripped graph variant across queries.
+
+The CLI (:mod:`repro.cli`) and every bundled example are built on this
+facade; the older per-app helpers (``run_matching``,
+``single_motif_count``) survive as thin deprecated wrappers around it.
+"""
+
+from .miner import Miner, SessionCacheInfo
+from .query import (
+    CliqueQuery,
+    ComputeQuery,
+    FSMQuery,
+    MatchQuery,
+    MotifQuery,
+    Query,
+    SessionError,
+)
+from .results import (
+    CliqueResult,
+    FSMResult,
+    MatchResult,
+    MiningResult,
+    MotifResult,
+)
+
+__all__ = [
+    "CliqueQuery",
+    "CliqueResult",
+    "ComputeQuery",
+    "FSMQuery",
+    "FSMResult",
+    "MatchQuery",
+    "MatchResult",
+    "Miner",
+    "MiningResult",
+    "MotifQuery",
+    "MotifResult",
+    "Query",
+    "SessionCacheInfo",
+    "SessionError",
+]

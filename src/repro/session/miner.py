@@ -1,0 +1,203 @@
+"""The :class:`Miner` session facade — one front door to the whole system.
+
+The paper's pitch is a *single* API that covers wildly different mining
+workloads (Figure 3); this module is that API for the reproduction.  A
+``Miner`` wraps one loaded graph and hands out chainable
+:class:`~repro.session.query.Query` objects::
+
+    from repro.session import Miner
+
+    miner = Miner(graph)
+    motifs  = miner.motifs(max_size=4).unlabeled().run()
+    squares = miner.match("square").workers(8).backend("process").run()
+    rules   = miner.fsm(support=100, max_edges=3).collect(False).run()
+    dense   = miner.maximal_cliques(max_size=5).limit(1000).run()
+
+Besides the fluent surface, the session caches everything that is
+per-graph rather than per-query, so repeated queries skip re-setup:
+
+* the **step-0 universe** (all vertices / all edges), computed once per
+  exploration mode and injected into every engine run;
+* the **label-stripped graph variant**, built once for the first
+  ``.unlabeled()`` query;
+* **compiled matching plans**, keyed by ``(canonical pattern, induced)``
+  so re-matching a pattern never recompiles it.
+
+:meth:`Miner.cache_info` exposes hit/build counters; the test suite
+asserts that a reused session demonstrably skips plan recompilation and
+step-0 re-setup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.computation import Computation
+from ..core.config import ArabesqueConfig
+from ..core.engine import run_computation
+from ..core.extension import initial_candidates
+from ..core.pattern import Pattern
+from ..core.results import RunResult
+from ..graph import LabeledGraph
+from ..graph.generators import strip_labels
+from ..plan.planner import MatchingPlan, compile_plan
+
+from .query import (
+    CliqueQuery,
+    ComputeQuery,
+    FSMQuery,
+    MatchQuery,
+    MotifQuery,
+    Query,
+    SessionError,
+)
+
+
+@dataclass
+class SessionCacheInfo:
+    """Counters for the session's per-graph caches (observability +
+    the reuse assertions in the test suite)."""
+
+    #: Engine runs executed through this session.
+    runs: int = 0
+    #: Step-0 universes computed (at most one per exploration mode).
+    universe_builds: int = 0
+    #: Runs that reused an already-computed universe.
+    universe_hits: int = 0
+    #: Matching plans compiled (one per distinct (pattern, semantics)).
+    plan_compilations: int = 0
+    #: Plan lookups served from the session cache.
+    plan_hits: int = 0
+    #: Label-stripped graph variants built (0 or 1).
+    strip_builds: int = 0
+
+
+class Miner:
+    """A mining session over one loaded graph.
+
+    Each workload method returns a chainable query; nothing executes
+    until ``.run()`` / ``.count()`` / ``.stream()``.  The session owns
+    the caches described in the module docstring, so issuing many
+    queries against one ``Miner`` is cheaper than calling the engine
+    helpers repeatedly.
+    """
+
+    def __init__(self, graph: LabeledGraph) -> None:
+        if not isinstance(graph, LabeledGraph):
+            raise SessionError(
+                f"Miner needs a LabeledGraph (got {type(graph).__name__}); "
+                "load one via repro.graph.read_edge_list or repro.datasets"
+            )
+        self.graph = graph
+        self._unlabeled: LabeledGraph | None = None
+        self._universes: dict[str, tuple[int, ...]] = {}
+        self._plans: dict[tuple[Pattern, bool], MatchingPlan] = {}
+        self._info = SessionCacheInfo()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"Miner({self.graph!r})"
+
+    # ------------------------------------------------------------------
+    # Workload front doors
+    # ------------------------------------------------------------------
+    def motifs(self, max_size: int = 3, *, min_size: int = 3) -> MotifQuery:
+        """Motif frequency distribution up to ``max_size`` vertices.
+
+        Chain ``.unlabeled()`` for classic (structure-only) motifs on a
+        labeled graph.
+        """
+        return MotifQuery(self, max_size, min_size=min_size)
+
+    def match(
+        self, query: "Pattern | str", *, induced: bool = True
+    ) -> MatchQuery:
+        """Retrieve every occurrence of ``query`` — a :class:`Pattern`,
+        a named shape (``"triangle"``, ``"square"``, ...), or a pattern
+        edge-list file path.
+
+        Plan-guided execution is the default; chain ``.exhaustive()``
+        for the filter-process oracle.  ``induced=False`` switches from
+        vertex-induced occurrences to monomorphisms.
+        """
+        return MatchQuery(self, query, induced=induced)
+
+    def fsm(self, support: int, *, max_edges: int | None = None) -> FSMQuery:
+        """Frequent subgraph mining with MNI support threshold ``support``."""
+        return FSMQuery(self, support, max_edges=max_edges)
+
+    def cliques(
+        self, max_size: int | None = None, *, min_size: int = 1
+    ) -> CliqueQuery:
+        """Enumerate all cliques up to ``max_size`` vertices."""
+        return CliqueQuery(self, max_size, min_size=min_size)
+
+    def maximal_cliques(self, max_size: int | None = None) -> CliqueQuery:
+        """Enumerate maximal cliques (optionally capped at ``max_size``)."""
+        return CliqueQuery(self, max_size, maximal=True)
+
+    def compute(self, computation: Computation) -> ComputeQuery:
+        """Run an arbitrary :class:`~repro.core.Computation` with the
+        session's cached graph state and the fluent option surface."""
+        return ComputeQuery(self, computation)
+
+    # ------------------------------------------------------------------
+    # Session caches
+    # ------------------------------------------------------------------
+    def cache_info(self) -> SessionCacheInfo:
+        """A snapshot of the session's cache counters."""
+        return SessionCacheInfo(**vars(self._info))
+
+    def _graph_variant(self, labeled: bool) -> LabeledGraph:
+        if labeled:
+            return self.graph
+        if self._unlabeled is None:
+            self._unlabeled = strip_labels(self.graph)
+            self._info.strip_builds += 1
+        return self._unlabeled
+
+    def _plan_for(self, pattern: Pattern, induced: bool) -> MatchingPlan:
+        """Compile (or fetch) the plan for a canonical pattern."""
+        key = (pattern, induced)
+        plan = self._plans.get(key)
+        if plan is None:
+            plan = compile_plan(pattern, induced=induced)
+            self._plans[key] = plan
+            self._info.plan_compilations += 1
+        else:
+            self._info.plan_hits += 1
+        return plan
+
+    def _universe_for(self, mode: str) -> tuple[int, ...]:
+        """Step-0 candidates for ``mode`` — label-independent, so the
+        labeled and stripped variants share one entry per mode."""
+        universe = self._universes.get(mode)
+        if universe is None:
+            universe = tuple(initial_candidates(self.graph, mode))
+            self._universes[mode] = universe
+            self._info.universe_builds += 1
+        else:
+            self._info.universe_hits += 1
+        return universe
+
+    def _run(
+        self,
+        graph: LabeledGraph,
+        computation: Computation,
+        config: ArabesqueConfig,
+    ) -> RunResult:
+        """Execute one engine run with the session's cached universe."""
+        self._info.runs += 1
+        return run_computation(
+            graph,
+            computation,
+            config,
+            universe=self._universe_for(computation.exploration_mode),
+        )
+
+
+__all__ = [
+    "Miner",
+    "Query",
+    "SessionCacheInfo",
+    "SessionError",
+]

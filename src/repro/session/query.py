@@ -1,0 +1,513 @@
+"""Chainable query objects built by :class:`~repro.session.Miner`.
+
+A query is a declarative description of one mining run: the workload
+(fixed by the :class:`Miner` method that created it) plus execution
+options chained fluently::
+
+    Miner(graph).motifs(max_size=4).unlabeled().workers(8).backend("process").run()
+    Miner(graph).match("square").exhaustive().limit(1000).run()
+
+Every option validates its argument **at call time** — unknown backend or
+storage strings, conflicting strategy choices (``.exhaustive()`` plus a
+precompiled ``.plan()``), or nonsensical values raise a loud
+:class:`SessionError` before anything runs.  ``.run()`` returns the
+workload's typed result view (:mod:`repro.session.results`);
+``.count()`` returns just the exact output count (collection disabled);
+``.stream()`` returns an iterator over the workload's natural items.
+
+Pattern-shaped queries (:meth:`Miner.match`) default to **guided**
+execution: the query is compiled into a
+:class:`~repro.plan.MatchingPlan` (cached on the session) and the runtime
+only proposes plan-compatible candidates.  ``.exhaustive()`` opts out into
+the filter-process oracle.  Guided queries also default to list embedding
+storage — the plan's symmetry restrictions already make every stored path
+unique, so ODAG's spurious-path re-validation is pure overhead there
+(measured in ``benchmarks/bench_planner_speedup.py``); an explicit
+``.storage()`` or ``.config()`` always wins.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, Any, Iterator
+
+from ..core.computation import Computation
+from ..core.config import ArabesqueConfig, BACKENDS
+from ..core.pattern import Pattern
+from ..core.storage import LIST_STORAGE, STORAGE_MODES
+from ..plan.planner import MatchingPlan
+
+from .results import (
+    CliqueResult,
+    FSMResult,
+    MatchResult,
+    MiningResult,
+    MotifResult,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .miner import Miner
+
+
+class SessionError(ValueError):
+    """A facade query was built or combined incorrectly."""
+
+
+class Query:
+    """Base chainable query: shared execution options + run/count/stream.
+
+    Subclasses fix the workload (which computation runs and which result
+    view wraps the outcome); this class owns everything the workloads
+    share — worker count, backend, storage, output handling, and the
+    labeled/unlabeled graph choice.
+    """
+
+    #: Human name used in error messages.
+    workload = "mining"
+    #: Whether ``.stream()`` iterates the run's collected outputs (and
+    #: therefore conflicts with ``.collect(False)``).  Workloads whose
+    #: stream comes from aggregates (motifs, FSM) override this.
+    _stream_needs_outputs = True
+
+    def __init__(self, miner: "Miner") -> None:
+        self._miner = miner
+        self._backend: str | None = None
+        self._workers: int | None = None
+        self._storage: str | None = None
+        self._limit: int | None = None
+        self._collect: bool | None = None
+        self._labeled = True
+        self._base_config: ArabesqueConfig | None = None
+
+    # ------------------------------------------------------------------
+    # Chainable execution options (validated eagerly)
+    # ------------------------------------------------------------------
+    def backend(self, name: str) -> "Query":
+        """Execution runtime for the worker step tasks."""
+        if name not in BACKENDS:
+            raise SessionError(
+                f"unknown backend {name!r} (choose from "
+                f"{', '.join(BACKENDS)})"
+            )
+        self._backend = name
+        return self
+
+    def workers(self, count: int) -> "Query":
+        """Logical workers the exploration is partitioned over."""
+        if not isinstance(count, int) or isinstance(count, bool) or count < 1:
+            raise SessionError(
+                f"workers() needs an integer >= 1, got {count!r}"
+            )
+        self._workers = count
+        return self
+
+    def storage(self, mode: str) -> "Query":
+        """Embedding storage strategy ("odag", "list", or "adaptive")."""
+        if mode not in STORAGE_MODES:
+            raise SessionError(
+                f"unknown storage mode {mode!r} (choose from "
+                f"{', '.join(STORAGE_MODES)})"
+            )
+        self._storage = mode
+        return self
+
+    def limit(self, count: int) -> "Query":
+        """Cap on collected outputs (exact counts are never truncated)."""
+        if not isinstance(count, int) or isinstance(count, bool) or count < 0:
+            raise SessionError(
+                f"limit() needs an integer >= 0, got {count!r}"
+            )
+        if self._collect is False:
+            raise SessionError(
+                "limit() caps collected outputs, but collect(False) "
+                "disabled collection for this query"
+            )
+        self._limit = count
+        return self
+
+    def collect(self, flag: bool = True) -> "Query":
+        """Keep (or drop) individual outputs; counts stay exact either way."""
+        if not flag and self._limit is not None:
+            raise SessionError(
+                "collect(False) conflicts with the limit() already set on "
+                "this query — a cap on outputs that are not collected"
+            )
+        self._collect = bool(flag)
+        return self
+
+    def unlabeled(self) -> "Query":
+        """Run on the session's label-stripped graph variant (cached)."""
+        self._labeled = False
+        return self
+
+    def config(self, config: ArabesqueConfig) -> "Query":
+        """Use ``config`` as the base configuration; chained options
+        override individual fields on top of it."""
+        if not isinstance(config, ArabesqueConfig):
+            raise SessionError(
+                "config() needs an ArabesqueConfig "
+                f"(got {type(config).__name__})"
+            )
+        self._base_config = config
+        return self
+
+    # Pattern-strategy options exist on every query so misuse fails with
+    # a message instead of an AttributeError; only MatchQuery overrides.
+    def guided(self) -> "Query":
+        raise SessionError(
+            f"{self.workload} queries have no guided/exhaustive choice — "
+            "only pattern queries (Miner.match) compile exploration plans"
+        )
+
+    def exhaustive(self) -> "Query":
+        raise SessionError(
+            f"{self.workload} queries always run exhaustively — only "
+            "pattern queries (Miner.match) have an exhaustive() opt-out"
+        )
+
+    def plan(self, plan: MatchingPlan) -> "Query":
+        raise SessionError(
+            f"{self.workload} queries cannot take a precompiled plan — "
+            "only pattern queries (Miner.match) run plan-guided"
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self) -> MiningResult:
+        """Execute the query and return its typed result view."""
+        graph = self._miner._graph_variant(self._labeled)
+        self._validate(graph)
+        config = self._build_config()
+        raw = self._miner._run(graph, self._computation(), config)
+        return self._wrap(raw)
+
+    def count(self) -> int:
+        """Execute without collecting outputs; return the exact count.
+
+        The collection default (and any ``limit()``, which only caps
+        *collected* outputs — counts are never truncated) is overridden
+        only for this call: a later ``.run()`` on the same query still
+        collects with its cap, unless the query itself chained
+        ``.collect(False)``.
+        """
+        saved_collect, saved_limit = self._collect, self._limit
+        if saved_collect is None:
+            self._collect = False
+            self._limit = None
+        try:
+            return self.run().raw.num_outputs
+        finally:
+            self._collect, self._limit = saved_collect, saved_limit
+
+    def stream(self) -> Iterator[Any]:
+        """Execute and iterate the workload's natural output items."""
+        if self._stream_needs_outputs and self._effective_collect() is False:
+            raise SessionError(
+                f"stream() iterates the run's outputs, but this "
+                f"{self.workload} query has collect_outputs disabled — "
+                "drop collect(False) to stream"
+            )
+        result = self.run()
+        return iter(self._stream_items(result))
+
+    # ------------------------------------------------------------------
+    # Internals / subclass hooks
+    # ------------------------------------------------------------------
+    def _effective_collect(self) -> bool:
+        if self._collect is not None:
+            return self._collect
+        if self._base_config is not None:
+            return self._base_config.collect_outputs
+        return ArabesqueConfig.collect_outputs
+
+    def _default_storage(self) -> str | None:
+        """Workload's auto storage mode; None keeps the config default."""
+        return None
+
+    def _build_config(self) -> ArabesqueConfig:
+        base = self._base_config or ArabesqueConfig()
+        if base.plan is not None and not isinstance(self, _PatternShaped):
+            raise SessionError(
+                f"the base config carries a MatchingPlan, but {self.workload} "
+                "queries run exhaustively — plans only drive Miner.match"
+            )
+        overrides: dict[str, Any] = {}
+        if self._workers is not None:
+            overrides["num_workers"] = self._workers
+        if self._backend is not None:
+            overrides["backend"] = self._backend
+        if self._storage is not None:
+            overrides["storage"] = self._storage
+        elif self._base_config is None:
+            auto = self._default_storage()
+            if auto is not None:
+                overrides["storage"] = auto
+        if self._collect is not None:
+            overrides["collect_outputs"] = self._collect
+        if self._limit is not None:
+            overrides["output_limit"] = self._limit
+        if self._limit is not None and not self._effective_collect():
+            raise SessionError(
+                "limit() caps collected outputs, but the base config has "
+                "collect_outputs=False — enable collect() or drop limit()"
+            )
+        return dataclasses.replace(base, **overrides) if overrides else base
+
+    def _validate(self, graph) -> None:
+        """Cross-option validation hook; runs right before execution."""
+
+    def _computation(self) -> Computation:
+        raise NotImplementedError
+
+    def _wrap(self, raw) -> MiningResult:
+        return MiningResult(raw)
+
+    def _stream_items(self, result: MiningResult) -> Any:
+        return result.raw.outputs
+
+
+class _PatternShaped:
+    """Marker: queries that may carry a MatchingPlan in their config."""
+
+
+class MotifQuery(Query):
+    """Motif frequency distribution up to ``max_size`` vertices."""
+
+    workload = "motifs"
+    _stream_needs_outputs = False  # streams the aggregated distribution
+
+    def __init__(self, miner: "Miner", max_size: int, min_size: int = 3) -> None:
+        super().__init__(miner)
+        from ..apps.motifs import MotifCounting
+
+        MotifCounting(max_size, min_size=min_size)  # eager arg validation
+        self._max_size = max_size
+        self._min_size = min_size
+
+    def _computation(self) -> Computation:
+        from ..apps.motifs import MotifCounting
+
+        return MotifCounting(self._max_size, min_size=self._min_size)
+
+    def _wrap(self, raw) -> MotifResult:
+        return MotifResult(raw)
+
+    def _stream_items(self, result: MotifResult) -> Any:
+        return sorted(
+            result.counts().items(),
+            key=lambda kv: (kv[0].num_vertices, -kv[1], repr(kv[0])),
+        )
+
+
+class CliqueQuery(Query):
+    """Clique (or maximal-clique) enumeration."""
+
+    workload = "cliques"
+
+    def __init__(
+        self,
+        miner: "Miner",
+        max_size: int | None,
+        min_size: int = 1,
+        maximal: bool = False,
+    ) -> None:
+        super().__init__(miner)
+        from ..apps.cliques import CliqueFinding
+        from ..apps.maximal_cliques import MaximalCliqueFinding
+
+        if maximal:
+            MaximalCliqueFinding(max_size=max_size)  # eager arg validation
+        else:
+            CliqueFinding(max_size=max_size, min_size=min_size)
+        self._max_size = max_size
+        self._min_size = min_size
+        self._maximal = maximal
+
+    def _computation(self) -> Computation:
+        from ..apps.cliques import CliqueFinding
+        from ..apps.maximal_cliques import MaximalCliqueFinding
+
+        if self._maximal:
+            return MaximalCliqueFinding(max_size=self._max_size)
+        return CliqueFinding(max_size=self._max_size, min_size=self._min_size)
+
+    def _wrap(self, raw) -> CliqueResult:
+        return CliqueResult(raw, maximal=self._maximal)
+
+
+class FSMQuery(Query):
+    """Frequent subgraph mining with MNI support."""
+
+    workload = "fsm"
+    _stream_needs_outputs = False  # streams the frequent-pattern table
+
+    def __init__(
+        self, miner: "Miner", support: int, max_edges: int | None = None
+    ) -> None:
+        super().__init__(miner)
+        from ..apps.fsm import FrequentSubgraphMining
+
+        FrequentSubgraphMining(support, max_edges=max_edges)  # eager check
+        self._support = support
+        self._max_edges = max_edges
+
+    def _computation(self) -> Computation:
+        from ..apps.fsm import FrequentSubgraphMining
+
+        return FrequentSubgraphMining(self._support, max_edges=self._max_edges)
+
+    def _wrap(self, raw) -> FSMResult:
+        return FSMResult(raw, support_threshold=self._support)
+
+    def _stream_items(self, result: FSMResult) -> Any:
+        return sorted(
+            result.patterns().items(),
+            key=lambda kv: (kv[0].num_edges, -kv[1], repr(kv[0])),
+        )
+
+
+class MatchQuery(Query, _PatternShaped):
+    """Retrieve every occurrence of a fixed query pattern.
+
+    Guided execution (plan compiled and cached on the session) is the
+    default; ``.exhaustive()`` opts out into the filter-process oracle.
+    """
+
+    workload = "match"
+
+    def __init__(
+        self, miner: "Miner", query: "Pattern | str", induced: bool = True
+    ) -> None:
+        super().__init__(miner)
+        if isinstance(query, str):
+            from ..plan.shapes import resolve_query
+
+            query = resolve_query(query)
+        if not isinstance(query, Pattern):
+            raise SessionError(
+                "match() needs a Pattern, a named shape, or a pattern-file "
+                f"path (got {type(query).__name__})"
+            )
+        if query.num_vertices == 0:
+            raise SessionError("query pattern must not be empty")
+        if not query.is_connected():
+            raise SessionError("query pattern must be connected")
+        self._query = query.canonical()
+        self._induced = bool(induced)
+        self._guided: bool | None = None  # None = default (guided)
+        self._plan: MatchingPlan | None = None
+
+    # -- strategy options ---------------------------------------------
+    def guided(self) -> "MatchQuery":
+        """Run the plan-guided fast path (the default)."""
+        self._guided = True
+        return self
+
+    def exhaustive(self) -> "MatchQuery":
+        """Opt out of guided execution: run the filter-process oracle."""
+        if self._plan is not None:
+            raise SessionError(
+                "exhaustive() conflicts with the precompiled plan() already "
+                "set on this query — plans only drive guided matching"
+            )
+        self._guided = False
+        return self
+
+    def plan(self, plan: MatchingPlan) -> "MatchQuery":
+        """Reuse a precompiled plan instead of compiling (implies guided)."""
+        if not isinstance(plan, MatchingPlan):
+            raise SessionError(
+                f"plan() needs a repro.plan.MatchingPlan "
+                f"(got {type(plan).__name__})"
+            )
+        if self._guided is False:
+            raise SessionError(
+                "plan() conflicts with exhaustive() already set on this "
+                "query — plans only drive guided matching"
+            )
+        if plan.induced != self._induced:
+            raise SessionError(
+                f"precompiled plan has induced={plan.induced}, "
+                f"but induced={self._induced} was requested"
+            )
+        if plan.pattern != self._query:
+            raise SessionError(
+                "precompiled plan was built from a different query pattern"
+            )
+        self._plan = plan
+        return self
+
+    # -- execution ------------------------------------------------------
+    @property
+    def is_guided(self) -> bool:
+        return self._guided if self._guided is not None else True
+
+    def _default_storage(self) -> str | None:
+        # Guided matches store only symmetry-unique plan paths, so ODAG's
+        # spurious-path re-validation buys nothing; list storage measured
+        # faster in benchmarks/bench_planner_speedup.py.
+        return LIST_STORAGE if self.is_guided else None
+
+    def _validate(self, graph) -> None:
+        if not self._labeled and (
+            any(self._query.vertex_labels)
+            or any(label for _, _, label in self._query.edges)
+        ):
+            raise SessionError(
+                "query pattern carries labels but the graph's labels are "
+                "stripped — it would silently match nothing; match on the "
+                "labeled graph instead (drop unlabeled(); from the CLI, "
+                "pass --labeled)"
+            )
+
+    def _resolved_plan(self) -> MatchingPlan:
+        if self._plan is None:
+            self._plan = self._miner._plan_for(self._query, self._induced)
+        return self._plan
+
+    def _build_config(self) -> ArabesqueConfig:
+        config = super()._build_config()
+        if self.is_guided:
+            return dataclasses.replace(config, plan=self._resolved_plan())
+        if config.plan is not None:
+            return dataclasses.replace(config, plan=None)
+        return config
+
+    def _computation(self) -> Computation:
+        from ..apps.matching import GraphMatching, GuidedMatching
+
+        if self.is_guided:
+            return GuidedMatching(self._resolved_plan())
+        return GraphMatching(self._query, induced=self._induced)
+
+    def _wrap(self, raw) -> MatchResult:
+        return MatchResult(
+            raw,
+            query=self._query,
+            induced=self._induced,
+            guided=self.is_guided,
+            plan=self._resolved_plan() if self.is_guided else None,
+        )
+
+    def _stream_items(self, result: MatchResult) -> Any:
+        return result.vertex_sets()
+
+
+class ComputeQuery(Query):
+    """Escape hatch: run an arbitrary user :class:`Computation` with the
+    session's cached graph state and the fluent option surface."""
+
+    workload = "compute"
+
+    def __init__(self, miner: "Miner", computation: Computation) -> None:
+        super().__init__(miner)
+        if not isinstance(computation, Computation):
+            raise SessionError(
+                "compute() needs a repro.core.Computation instance "
+                f"(got {type(computation).__name__})"
+            )
+        self._user_computation = computation
+
+    def _computation(self) -> Computation:
+        return self._user_computation

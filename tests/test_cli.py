@@ -61,6 +61,32 @@ class TestCommands:
             ["cliques", str(edge_list_file), "--max-size", "3", "--maximal"]
         ) == 0
 
+    def test_maximal_cliques_subcommand(self, capsys, edge_list_file):
+        assert main(
+            ["maximal-cliques", str(edge_list_file), "--max-size", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "maximal cliques" in out
+        # Must agree with the equivalent `cliques --maximal` spelling.
+        assert main(
+            ["cliques", str(edge_list_file), "--max-size", "3",
+             "--min-size", "1", "--maximal"]
+        ) == 0
+        via_flag = capsys.readouterr().out
+        assert [l for l in out.splitlines() if l.startswith("size")] == \
+            [l for l in via_flag.splitlines() if l.startswith("size")]
+
+    def test_storage_flag(self, capsys, edge_list_file):
+        for storage in ("odag", "list", "adaptive"):
+            assert main(
+                ["motifs", str(edge_list_file), "--max-size", "3",
+                 "--storage", storage]
+            ) == 0
+
+    def test_unknown_storage_rejected(self, edge_list_file):
+        with pytest.raises(SystemExit):
+            main(["motifs", str(edge_list_file), "--storage", "bogus"])
+
     def test_cliques_verbose(self, capsys, edge_list_file):
         assert main(
             ["cliques", str(edge_list_file), "--max-size", "3",
@@ -98,8 +124,18 @@ class TestMatchCommand:
                 return int(line.split(":")[-1].split("matches")[0].strip().replace(",", ""))
         raise AssertionError(f"no match-count line in {out!r}")
 
-    def test_named_shape_exhaustive_default(self, capsys, edge_list_file):
+    def test_named_shape_guided_default(self, capsys, edge_list_file):
+        # The facade made guided execution the transparent default; the
+        # CLI mirrors it and prints the compiled plan.
         assert main(["match", str(edge_list_file), "triangle"]) == 0
+        out = capsys.readouterr().out
+        assert "guided" in out
+        assert "plan: order=" in out
+
+    def test_exhaustive_opt_out(self, capsys, edge_list_file):
+        assert main(
+            ["match", str(edge_list_file), "triangle", "--exhaustive"]
+        ) == 0
         out = capsys.readouterr().out
         assert "exhaustive" in out
         assert "plan:" not in out
