@@ -25,7 +25,15 @@ read-back work and wall-clock ratio.  Its verdict is why the session
 facade (:mod:`repro.session`) defaults guided pattern queries to list
 storage.
 
-``BENCH_QUICK=1`` shrinks the workload to a tiny random graph so CI can
+A third section measures **plan-guided FSM** (the ROADMAP's "plan-guided
+FSM" item): level-wise candidate growth with per-candidate compiled
+plans, parent MNI domains pushed down as per-step whitelists, and
+Apriori pruning — against the exhaustive edge-exploration FSM that
+covers all patterns in one run.  Frequent patterns and supports must
+agree exactly (hard assert), and the aggregate extension-candidate
+reduction must reach the >= 2x acceptance bar.
+
+``BENCH_QUICK=1`` shrinks the workloads to tiny graphs so CI can
 smoke-run the bench in seconds.
 """
 
@@ -45,6 +53,10 @@ QUICK = os.environ.get("BENCH_QUICK", "") not in ("", "0", "false", "no")
 
 #: Aggregate acceptance bar: guided must generate >= 3x fewer candidates.
 TARGET_CANDIDATE_RATIO = 3.0
+
+#: FSM acceptance bar: guided FSM must generate >= 2x fewer extension
+#: candidates than the exhaustive edge-exploration run.
+TARGET_FSM_CANDIDATE_RATIO = 2.0
 
 
 def _workloads():
@@ -223,6 +235,93 @@ def run_guided_storage_interplay():
     return ratio
 
 
+def _fsm_workloads():
+    """(graph name, graph, support threshold, max edges) to mine.
+
+    Depth is the decisive variable: the exhaustive strategy's embedding
+    store (and with it the candidate pool it extends) grows level over
+    level, while guided FSM's parent-domain whitelists tighten — so the
+    workloads mine to 4 edges where both effects are visible.
+    """
+    if QUICK:
+        return [("citeseer-0.05", citeseer_like(scale=0.05), 6, 4)]
+    return [
+        ("citeseer-0.15", citeseer_like(scale=0.15), 15, 4),
+        ("citeseer-0.3", citeseer_like(scale=0.3), 30, 4),
+        ("mico-0.002", mico_like(scale=0.002), 8, 4),
+    ]
+
+
+def run_guided_fsm_speedup():
+    """Plan-guided vs exhaustive FSM: identical tables, fewer candidates.
+
+    Returns the aggregate exhaustive/guided extension-candidate ratio;
+    hard-asserts pattern/support equality per workload and the >= 2x
+    aggregate reduction bar.
+    """
+    rows = []
+    total_exhaustive = 0
+    total_guided = 0
+    for graph_name, graph, support, max_edges in _fsm_workloads():
+        miner = Miner(graph)
+        started = time.perf_counter()
+        guided = miner.fsm(support, max_edges=max_edges).run()
+        guided_wall = time.perf_counter() - started
+        started = time.perf_counter()
+        exhaustive = (
+            miner.fsm(support, max_edges=max_edges)
+            .exhaustive()
+            .collect(False)
+            .run()
+        )
+        exhaustive_wall = time.perf_counter() - started
+        assert guided.patterns() == exhaustive.patterns(), (
+            f"guided and exhaustive FSM disagree on {graph_name} "
+            f"(support={support})"
+        )
+        details = guided.guided_details
+        guided_candidates = guided.raw.total_candidates
+        exhaustive_candidates = exhaustive.raw.total_candidates
+        total_guided += guided_candidates
+        total_exhaustive += exhaustive_candidates
+        ratio = exhaustive_candidates / max(1, guided_candidates)
+        pruned = sum(level.pruned for level in details.levels)
+        rows.append(
+            f"{graph_name:<14} {support:>4} {max_edges:>3} "
+            f"{len(guided.patterns()):>6,} "
+            f"{details.engine_runs:>6,} {pruned:>6,} "
+            f"{fmt_count(exhaustive_candidates):>10} "
+            f"{fmt_count(guided_candidates):>10} {ratio:>7.1f}x "
+            f"{exhaustive_wall:>7.2f}s {guided_wall:>7.2f}s "
+            f"{exhaustive_wall / max(1e-9, guided_wall):>6.1f}x"
+        )
+    aggregate = total_exhaustive / max(1, total_guided)
+    lines = [
+        f"{'graph':<14} {'θ':>4} {'ME':>3} {'freq':>6} {'runs':>6} "
+        f"{'pruned':>6} {'cand(ex)':>10} {'cand(gd)':>10} {'c-ratio':>8} "
+        f"{'wall(ex)':>8} {'wall(gd)':>8} {'w-ratio':>7}",
+        *rows,
+        "",
+        f"aggregate candidates: {fmt_count(total_exhaustive)} exhaustive vs "
+        f"{fmt_count(total_guided)} guided = {aggregate:.1f}x fewer "
+        f"(target >= {TARGET_FSM_CANDIDATE_RATIO:.0f}x)",
+        "frequent patterns and MNI supports agree exactly on every "
+        "workload (hard-asserted)",
+        "guided = per-candidate compiled plans + parent-domain push-down "
+        "+ Apriori pruning; 'pruned' candidates never reach the engine",
+    ]
+    report(
+        "planner_guided_fsm",
+        "Plan-guided FSM: guided vs exhaustive candidate generation",
+        lines,
+    )
+    assert aggregate >= TARGET_FSM_CANDIDATE_RATIO, (
+        f"aggregate FSM candidate reduction {aggregate:.2f}x misses the "
+        f"{TARGET_FSM_CANDIDATE_RATIO}x bar"
+    )
+    return aggregate
+
+
 def test_planner_speedup(benchmark):
     outcome = {}
 
@@ -238,6 +337,18 @@ def test_guided_storage_interplay(benchmark):
     benchmark.pedantic(run_guided_storage_interplay, rounds=1, iterations=1)
 
 
+def test_guided_fsm_speedup(benchmark):
+    outcome = {}
+
+    def run_all():
+        outcome["aggregate"] = run_guided_fsm_speedup()
+        return outcome["aggregate"]
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    assert outcome["aggregate"] >= TARGET_FSM_CANDIDATE_RATIO
+
+
 if __name__ == "__main__":  # pragma: no cover
     run_planner_speedup()
     run_guided_storage_interplay()
+    run_guided_fsm_speedup()

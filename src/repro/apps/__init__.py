@@ -6,7 +6,15 @@ from .frequent_cliques import (
     FrequentCliqueMining,
     frequent_clique_patterns,
 )
-from .fsm import FrequentEmbedding, FrequentSubgraphMining, frequent_patterns
+from .fsm import (
+    FrequentEmbedding,
+    FrequentSubgraphMining,
+    GuidedFSMLevel,
+    GuidedFSMResult,
+    GuidedPatternDomains,
+    frequent_patterns,
+    run_guided_fsm,
+)
 from .inexact import InexactMatching, min_completion_cost, unit_label_cost
 from .matching import (
     GraphMatching,
@@ -39,7 +47,10 @@ __all__ = [
     "FrequentSubgraphMining",
     "GraphCollection",
     "GraphMatching",
+    "GuidedFSMLevel",
+    "GuidedFSMResult",
     "GuidedMatching",
+    "GuidedPatternDomains",
     "InexactMatching",
     "MaximalCliqueFinding",
     "MotifCounting",
@@ -54,6 +65,7 @@ __all__ = [
     "motif_counts",
     "motif_counts_by_size",
     "pattern_embeds_in",
+    "run_guided_fsm",
     "run_matching",
     "single_motif_count",
     "transactional_frequent_patterns",

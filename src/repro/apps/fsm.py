@@ -1,24 +1,59 @@
-"""Frequent subgraph mining — Figure 4a of the paper.
+"""Frequent subgraph mining — Figure 4a of the paper, in two strategies.
 
-The first distributed FSM on a single large graph: edge-based exploration
-where ``process`` maps each embedding's domains to its pattern's reducer,
-``reduce`` merges domains, ``aggregation_filter`` drops embeddings whose
-pattern's minimum image-based support is below the threshold, and
-``aggregation_process`` outputs the embeddings of frequent patterns.
+**Exhaustive** (:class:`FrequentSubgraphMining`, the oracle): edge-based
+exploration where ``process`` maps each embedding's domains to its
+pattern's reducer, ``reduce`` merges domains, ``aggregation_filter``
+drops embeddings whose pattern's minimum image-based support is below
+the threshold, and ``aggregation_process`` outputs the embeddings of
+frequent patterns.  One run covers every pattern at once, but the
+exploration is pattern-agnostic: every embedding of every surviving
+pattern is extended in every direction.
+
+**Plan-guided** (:func:`run_guided_fsm`, the fast path): GraMi-style
+level-wise pattern growth where each candidate pattern's embeddings are
+discovered through its compiled :class:`~repro.plan.MatchingPlan` on the
+guided runtime path, and MNI domains are accumulated directly from the
+guided matches (one :class:`~repro.apps.support.Domain` per match, merged
+through the aggregation channel) instead of materializing and
+re-aggregating full embedding stores.  Candidate generation, plan
+compilation helpers, and the orbit-folding support math live in
+:mod:`repro.plan.fsm_guide`.  Both strategies return identical frequent
+patterns and supports; the session facade (``Miner.fsm``) runs guided by
+default with ``.exhaustive()`` as the opt-out.
 
 Anti-monotonicity holds because MNI support never grows under extension
-(:mod:`repro.apps.support`), so α-pruned subtrees can never contain a
-frequent pattern.
+(:mod:`repro.apps.support`), so α-pruned subtrees (exhaustive) and
+non-extended infrequent candidates (guided) can never hide a frequent
+pattern.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import dataclasses
+from dataclasses import dataclass, field
 
+from ..bsp.metrics import RunMetrics
 from ..core.computation import Computation
-from ..core.embedding import EDGE_EXPLORATION, Embedding
+from ..core.config import ArabesqueConfig
+from ..core.embedding import (
+    EDGE_EXPLORATION,
+    VERTEX_EXPLORATION,
+    Embedding,
+)
 from ..core.pattern import Pattern
-from ..core.results import RunResult
+from ..core.results import RunResult, StepStats
+from ..core.storage import LIST_STORAGE
+from ..graph import LabeledGraph
+from ..plan.fsm_guide import (
+    PlanProvider,
+    default_plan_provider,
+    has_infrequent_subpattern,
+    label_triples,
+    one_edge_extensions_with_maps,
+    single_edge_domains,
+)
+from ..plan.guided import match_mapping
+from ..plan.planner import MatchingPlan, restrict_plan
 from .support import Domain
 
 
@@ -98,6 +133,288 @@ class FrequentSubgraphMining(Computation):
     # -- termination -------------------------------------------------------
     def termination_filter(self, embedding: Embedding) -> bool:
         return self.max_edges is not None and embedding.num_edges >= self.max_edges
+
+
+class GuidedPatternDomains(Computation):
+    """Discover one candidate pattern's embeddings plan-guided and
+    accumulate its MNI domains from the matches.
+
+    Run with ``config.plan`` set to the same plan (:func:`run_guided_fsm`
+    wires this up).  Every full-size embedding is a symmetry-unique
+    monomorphism representative by construction, so ``process`` only has
+    to translate the plan-ordered words into a match mapping and map a
+    singleton :class:`~repro.apps.support.Domain` to the candidate's
+    canonical pattern — the aggregation channel merges domains per worker
+    and across workers, and the merged domain lands in
+    ``final_aggregates[plan.pattern]``.  No per-embedding output is
+    emitted and nothing survives the final store, so the run never
+    materializes the embedding set.
+
+    Support read-out folds the canonical pattern's automorphism orbits
+    (:meth:`Domain.support`), which restores the images the symmetry
+    restrictions deduplicated away (see :mod:`repro.plan.fsm_guide`).
+    """
+
+    exploration_mode = VERTEX_EXPLORATION
+    plan_compatible = True
+
+    def __init__(self, plan: MatchingPlan):
+        super().__init__()
+        if plan.induced:
+            raise ValueError(
+                "FSM candidate plans must use monomorphic semantics "
+                "(compile with induced=False); edge-based embeddings are "
+                "monomorphism images"
+            )
+        self.plan = plan
+
+    def process(self, embedding: Embedding) -> None:
+        if embedding.size != self.plan.num_steps:
+            return
+        mapping = match_mapping(self.plan, embedding.words)
+        self.note_domain_hits(len(mapping))
+        self.map(self.plan.pattern, Domain.from_mapping(mapping))
+
+    def reduce(self, key, domains: list[Domain]) -> Domain:
+        return Domain.merge_all(domains)
+
+    def termination_filter(self, embedding: Embedding) -> bool:
+        return embedding.size >= self.plan.num_steps
+
+
+@dataclass(frozen=True)
+class GuidedFSMLevel:
+    """Per-level accounting of one guided FSM run (level = pattern edges)."""
+
+    level: int
+    #: Candidate patterns considered at this level (evaluated + pruned).
+    candidates: int
+    #: Candidates dismissed without any engine run: an Apriori-infrequent
+    #: subpattern, or an empty pushed-down domain (zero matches possible).
+    pruned: int
+    #: Candidates found frequent (the next level grows from these).
+    frequent: int
+    #: Extension candidates generated across the level's guided runs —
+    #: the machine-independent cost metric the planner bench compares.
+    candidates_generated: int
+
+
+@dataclass
+class GuidedFSMResult:
+    """Everything a plan-guided FSM run produces.
+
+    ``combined`` is the engine-record view over all per-candidate runs:
+    steps and metrics concatenated, ``final_aggregates`` holding each
+    evaluated candidate's merged :class:`Domain` under its canonical
+    pattern — exactly the surface :func:`frequent_patterns` and
+    :class:`~repro.session.results.FSMResult` already consume, and the
+    byte-identity surface (``combined.canonical_signature()``) the
+    cross-backend tests compare.
+    """
+
+    support_threshold: int
+    max_edges: int | None
+    frequent: dict[Pattern, int] = field(default_factory=dict)
+    levels: list[GuidedFSMLevel] = field(default_factory=list)
+    #: Engine runs executed (== candidate patterns evaluated).
+    engine_runs: int = 0
+    combined: RunResult = field(default_factory=RunResult)
+
+    @property
+    def total_candidates(self) -> int:
+        """Extension candidates generated across all guided runs."""
+        return self.combined.total_candidates
+
+    def canonical_signature(self, ignore_output_order: bool = False) -> bytes:
+        """Deterministic byte serialization of the semantic results."""
+        return self.combined.canonical_signature(ignore_output_order)
+
+
+def _fold_run(combined: RunResult, run: RunResult) -> None:
+    """Concatenate one candidate run's record into the combined view."""
+    combined.num_outputs += run.num_outputs
+    combined.outputs.extend(run.outputs)
+    for stats in run.steps:
+        combined.steps.append(
+            dataclasses.replace(stats, step=len(combined.steps))
+        )
+    assert combined.metrics is not None and run.metrics is not None
+    for superstep in run.metrics.supersteps:
+        superstep.superstep = len(combined.metrics.supersteps)
+        combined.metrics.supersteps.append(superstep)
+    combined.wall_seconds += run.wall_seconds
+    combined.pattern_requests += run.pattern_requests
+    combined.quick_patterns += run.quick_patterns
+    combined.canonical_patterns += run.canonical_patterns
+    combined.isomorphism_runs += run.isomorphism_runs
+    combined.peak_storage_bytes = max(
+        combined.peak_storage_bytes, run.peak_storage_bytes
+    )
+
+
+def run_guided_fsm(
+    graph: LabeledGraph,
+    support_threshold: int,
+    max_edges: int | None = None,
+    *,
+    config: ArabesqueConfig | None = None,
+    plan_provider: PlanProvider | None = None,
+) -> GuidedFSMResult:
+    """Plan-guided FSM: level-wise pattern growth, guided discovery.
+
+    Level k evaluates the canonical one-edge extensions of level k-1's
+    frequent patterns (level 1: one candidate per label triple class);
+    each candidate's embeddings are discovered through its compiled plan
+    on the guided runtime path and its MNI support is read from the
+    accumulated domains.  Returns identical frequent patterns and
+    supports to the exhaustive :class:`FrequentSubgraphMining` +
+    :func:`frequent_patterns` pipeline and to the GraMi baseline,
+    byte-identically across execution backends.
+
+    ``config`` carries the execution knobs (backend, workers, storage —
+    ``None`` defaults to list storage, the guided sweet spot); its
+    ``plan``/output fields are overridden per candidate run.
+    ``plan_provider`` supplies compiled plans for canonical candidate
+    patterns (a session passes its cross-query cache; default compiles
+    with a run-local memo).  No step-0 universe is involved: every
+    per-candidate run draws its step 0 from the plan's own pool (label
+    index or pushed-down whitelist).
+    """
+    if support_threshold < 1:
+        raise ValueError("support_threshold must be >= 1")
+    if max_edges is not None and max_edges < 1:
+        raise ValueError("max_edges must be >= 1 when given")
+    base = config if config is not None else ArabesqueConfig(storage=LIST_STORAGE)
+    provide = plan_provider if plan_provider is not None else default_plan_provider()
+
+    # One engine run per candidate; import here mirrors the engine's own
+    # lazy runtime import (runtime -> core.config would otherwise cycle).
+    from ..core.engine import run_computation
+    from ..runtime.base import make_backend
+
+    result = GuidedFSMResult(
+        support_threshold=support_threshold, max_edges=max_edges
+    )
+    result.combined.metrics = RunMetrics(num_workers=base.num_workers)
+    triples = label_triples(graph)
+
+    def grow_level(
+        frequent_now: list[tuple[Pattern, Domain]],
+    ) -> list[tuple[Pattern, dict[int, frozenset[int]]]]:
+        """Next level's candidates with each parent's orbit-folded
+        domains pushed down onto the positions its vertices become in
+        the extension; a candidate reached through several parents (or
+        several maps) gets the intersection — every map is an
+        independent sound restriction."""
+        next_allowed: dict[Pattern, dict[int, frozenset[int]]] = {}
+        for pattern, domain in frequent_now:
+            folded = domain.orbit_folded(pattern.orbits())
+            for extension, parent_map in one_edge_extensions_with_maps(
+                pattern, triples
+            ):
+                whitelists = next_allowed.setdefault(extension, {})
+                for vertex, position in enumerate(parent_map):
+                    previous = whitelists.get(position)
+                    whitelists[position] = (
+                        folded[vertex]
+                        if previous is None
+                        else previous & folded[vertex]
+                    )
+        return [
+            (extension, next_allowed[extension])
+            for extension in sorted(
+                next_allowed, key=lambda p: (p.vertex_labels, p.edges)
+            )
+        ]
+
+    # Level 1: single-edge supports in closed form — one pass over the
+    # edges (metered as one examined candidate per edge), no engine runs.
+    frequent_now: list[tuple[Pattern, Domain]] = []
+    level_one = single_edge_domains(graph)
+    for pattern, sets in level_one:
+        domain = Domain(sets)
+        result.combined.final_aggregates[pattern] = domain
+        support = domain.support(pattern.orbits())
+        if support >= support_threshold:
+            result.frequent[pattern] = support
+            frequent_now.append((pattern, domain))
+    result.levels.append(
+        GuidedFSMLevel(
+            level=1,
+            candidates=len(level_one),
+            pruned=0,
+            frequent=len(frequent_now),
+            candidates_generated=graph.num_edges,
+        )
+    )
+    # The edge scan enters the combined record as one synthetic step so
+    # ``combined.total_candidates`` meters the whole strategy (one
+    # examined candidate per edge — the same accounting the exhaustive
+    # path's step 0 gets for the same scan).
+    result.combined.steps.append(
+        StepStats(step=0, candidates_generated=graph.num_edges)
+    )
+    if not frequent_now or max_edges == 1:
+        return result
+
+    pending = grow_level(frequent_now)
+    backend = make_backend(base)
+    try:
+        level = 2
+        while pending and (max_edges is None or level <= max_edges):
+            frequent_now = []
+            level_candidates = 0
+            pruned = 0
+            for pattern, allowed in pending:
+                if any(not images for images in allowed.values()) or (
+                    has_infrequent_subpattern(pattern, result.frequent)
+                ):
+                    # Zero possible matches, or an infrequent subpattern
+                    # (MNI anti-monotonicity) — no engine run needed.
+                    pruned += 1
+                    continue
+                plan = restrict_plan(provide(pattern), allowed)
+                run_config = dataclasses.replace(
+                    base, plan=plan, collect_outputs=False, output_limit=None
+                )
+                run = run_computation(
+                    graph,
+                    GuidedPatternDomains(plan),
+                    run_config,
+                    backend=backend,
+                )
+                result.engine_runs += 1
+                level_candidates += run.total_candidates
+                domain = run.final_aggregates.get(pattern)
+                if domain is not None:
+                    result.combined.final_aggregates[pattern] = domain
+                support = (
+                    domain.support(pattern.orbits()) if domain is not None else 0
+                )
+                _fold_run(result.combined, run)
+                if support >= support_threshold:
+                    result.frequent[pattern] = support
+                    frequent_now.append((pattern, domain))
+            result.levels.append(
+                GuidedFSMLevel(
+                    level=level,
+                    candidates=len(pending),
+                    pruned=pruned,
+                    frequent=len(frequent_now),
+                    candidates_generated=level_candidates,
+                )
+            )
+            if not frequent_now:
+                break
+            if max_edges is not None and level >= max_edges:
+                # The bound is reached — growing (and canonicalizing)
+                # the next level's candidates would be discarded work.
+                break
+            pending = grow_level(frequent_now)
+            level += 1
+    finally:
+        backend.close()
+    return result
 
 
 def frequent_patterns(

@@ -47,6 +47,18 @@ class Domain:
         return cls([frozenset((v,)) for v in embedding.vertices])
 
     @classmethod
+    def from_mapping(cls, mapping: Sequence[int]) -> "Domain":
+        """The singleton domain of one match mapping: position i holds
+        the graph vertex matched to pattern vertex i.
+
+        The guided FSM path builds these from plan-ordered words via
+        :func:`repro.plan.guided.match_mapping`, so positions already
+        follow the (canonical) candidate pattern — no quick-pattern
+        remapping is pending, unlike :meth:`from_embedding`.
+        """
+        return cls([frozenset((v,)) for v in mapping])
+
+    @classmethod
     def merge_all(cls, domains: Iterable["Domain"]) -> "Domain":
         """Positionwise union — the FSM ``reduce`` function."""
         iterator = iter(domains)
@@ -81,6 +93,24 @@ class Domain:
         """Distinct vertices mapped to ``position`` (pre orbit folding)."""
         return self._sets[position]
 
+    def orbit_folded(self, orbits: Sequence[int]) -> tuple[frozenset[int], ...]:
+        """Per-position image sets with automorphism orbits folded in.
+
+        Position ``i``'s result is the union of the raw sets over ``i``'s
+        orbit — the *full* image set of that pattern vertex even when the
+        raw sets hold only symmetry-unique representatives (every
+        isomorphism is a representative composed with an automorphism,
+        and automorphisms permute positions within orbits).  This is the
+        one home of the orbit fold: :meth:`support` reads off it, and
+        guided FSM pushes these sets down into extension plans.
+        """
+        if len(orbits) != len(self._sets):
+            raise ValueError("orbit arity does not match domain arity")
+        folded: dict[int, set[int]] = {}
+        for position, orbit in enumerate(orbits):
+            folded.setdefault(orbit, set()).update(self._sets[position])
+        return tuple(frozenset(folded[orbit]) for orbit in orbits)
+
     def support(self, orbits: Sequence[int] | None = None) -> int:
         """The MNI support: min over positions of the domain size.
 
@@ -92,12 +122,9 @@ class Domain:
             return 0
         if orbits is None:
             return min(len(s) for s in self._sets)
-        if len(orbits) != len(self._sets):
-            raise ValueError("orbit arity does not match domain arity")
-        folded: dict[int, set[int]] = {}
-        for position, orbit in enumerate(orbits):
-            folded.setdefault(orbit, set()).update(self._sets[position])
-        return min(len(s) for s in folded.values())
+        # Positions in one orbit share their folded set, so the min over
+        # positions equals the min over orbits.
+        return min(len(s) for s in self.orbit_folded(orbits))
 
     def wire_size(self) -> int:
         """Header plus per-position headers and 4 bytes per member vertex."""

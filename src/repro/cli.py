@@ -5,7 +5,7 @@ Usage::
     python -m repro motifs          GRAPH --max-size 3
     python -m repro cliques         GRAPH --max-size 4 [--maximal]
     python -m repro maximal-cliques GRAPH --max-size 5
-    python -m repro fsm             GRAPH --support 100 [--max-edges 3]
+    python -m repro fsm             GRAPH --support 100 [--max-edges 3] [--exhaustive]
     python -m repro match           GRAPH QUERY [--exhaustive]
     python -m repro stats           GRAPH
 
@@ -144,10 +144,19 @@ def cmd_fsm(args: argparse.Namespace) -> int:
     query = configure(
         session.fsm(args.support, max_edges=args.max_edges), args
     )
+    if not args.guided:
+        query.exhaustive()
     result = query.collect(False).run()
+    mode = "guided" if result.guided else "exhaustive"
+    print(
+        f"fsm ({mode}): support >= {args.support}, "
+        f"{len(result.patterns())} frequent patterns"
+    )
+    # repr tiebreak: identical output for identical tables regardless of
+    # the strategy's table insertion order (guided vs exhaustive).
     for pattern, support in sorted(
         result.patterns().items(),
-        key=lambda kv: (kv[0].num_edges, -kv[1]),
+        key=lambda kv: (kv[0].num_edges, -kv[1], repr(kv[0])),
     ):
         labels = "/".join(map(str, pattern.vertex_labels))
         edges = ",".join(f"{i}-{j}" for i, j, _ in pattern.edges)
@@ -292,6 +301,20 @@ def build_parser() -> argparse.ArgumentParser:
     fsm.add_argument("--support", type=int, required=True,
                      help="MNI support threshold")
     fsm.add_argument("--max-edges", type=int, default=None)
+    fsm_strategy = fsm.add_mutually_exclusive_group()
+    fsm_strategy.add_argument(
+        "--guided", dest="guided", action="store_true", default=True,
+        help="plan-guided FSM (default): grow candidate patterns "
+             "level-wise and discover each one's embeddings through its "
+             "compiled exploration plan, accumulating MNI domains from "
+             "the guided matches",
+    )
+    fsm_strategy.add_argument(
+        "--exhaustive", dest="guided", action="store_false",
+        help="one exploration-agnostic edge-exploration run covering "
+             "every pattern at once — the oracle the guided mode is "
+             "validated against",
+    )
     fsm.set_defaults(handler=cmd_fsm)
     return parser
 

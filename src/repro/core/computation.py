@@ -55,6 +55,10 @@ class ComputationContext:
     def read_aggregate(self, key: Hashable) -> Any:
         raise NotImplementedError
 
+    def note_domain_hits(self, count: int) -> None:
+        """Record ``count`` per-vertex domain images (observability only:
+        contexts that do not meter them may keep this no-op default)."""
+
 
 class Computation:
     """Base class for Arabesque applications.
@@ -148,6 +152,12 @@ class Computation:
     def read_aggregate(self, key: Hashable) -> Any:
         """Read the value aggregated for ``key`` in the previous step."""
         return self._require_context().read_aggregate(key)
+
+    def note_domain_hits(self, count: int) -> None:
+        """Report per-vertex domain images just recorded (one per
+        (match, pattern position)); the runtime sums them into
+        :attr:`~repro.core.results.StepStats.domain_hits`."""
+        self._require_context().note_domain_hits(count)
 
     # ------------------------------------------------------------------
     # Convenience helpers

@@ -115,9 +115,15 @@ class ArabesqueEngine:
             if declared is not None and declared != self.config.plan:
                 raise ValueError(
                     "computation carries a different plan than config.plan; "
-                    "pass the same MatchingPlan to both (run_matching "
-                    "wires this up)"
+                    "pass the same MatchingPlan to both (the session "
+                    "facade and run_guided_fsm wire this up)"
                 )
+        if self.config.plan is not None:
+            # Warm the graph's label index in this (parent) process:
+            # guided step-0 pools draw from it inside every worker, and
+            # the process backend's forks inherit it copy-on-write —
+            # without this each fork would rebuild it with an O(V) scan.
+            graph.vertices_with_label(self.config.plan.steps[0].vertex_label)
         self._backend = backend
         #: Expansion of the "undefined" embedding, computed once per engine
         #: (step 0 used to rebuild it per worker; see bench note in
@@ -169,7 +175,14 @@ class ArabesqueEngine:
             plan=config.plan,
             pattern_cache=canonicalizer.cache_snapshot(),
             published_aggregates=agg_channel.published(),
-            universe=self._initial_universe() if step == 0 else None,
+            # Guided runs draw step 0 from the plan's own pool (label
+            # index or domain whitelist), so the universe would be dead
+            # weight there — skip building/shipping it.
+            universe=(
+                self._initial_universe()
+                if step == 0 and config.plan is None
+                else None
+            ),
             global_store=global_store if step > 0 else None,
         )
 

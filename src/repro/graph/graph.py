@@ -55,6 +55,7 @@ class LabeledGraph:
         "_neighbor_sets",
         "_incident_edges",
         "_edge_index",
+        "_label_index",
         "_name",
     )
 
@@ -99,6 +100,9 @@ class LabeledGraph:
         self._neighbor_sets = tuple(frozenset(adj) for adj in adjacency)
         self._incident_edges = tuple(tuple(sorted(inc)) for inc in incident)
         self._edge_index = edge_index
+        #: Lazy label -> sorted vertex ids (built on first use; rebuilding
+        #: is idempotent, so concurrent first readers are harmless).
+        self._label_index: dict[int, tuple[int, ...]] | None = None
         self._name = name
 
     # ------------------------------------------------------------------
@@ -145,6 +149,22 @@ class LabeledGraph:
     def vertex_labels(self) -> tuple[int, ...]:
         """Tuple of all vertex labels indexed by vertex id."""
         return self._vertex_labels
+
+    def vertices_with_label(self, label: int) -> tuple[int, ...]:
+        """All vertices carrying ``label``, sorted ascending.
+
+        The label index every real mining system keeps: guided plans use
+        it as the step-0 candidate pool instead of scanning all vertices.
+        Built lazily once per graph and cached (graphs are immutable).
+        """
+        if self._label_index is None:
+            index: dict[int, list[int]] = {}
+            for vertex, vertex_label in enumerate(self._vertex_labels):
+                index.setdefault(vertex_label, []).append(vertex)
+            self._label_index = {
+                vertex_label: tuple(ids) for vertex_label, ids in index.items()
+            }
+        return self._label_index.get(label, ())
 
     def degree(self, v: int) -> int:
         """Degree of vertex ``v``."""

@@ -6,9 +6,19 @@ label/adjacency constraints plus symmetry-breaking order restrictions —
 and the guided generator executes it inside the runtime's step tasks,
 proposing only candidates that satisfy the next plan step.  See
 :mod:`repro.plan.planner` (compilation), :mod:`repro.plan.symmetry`
-(automorphism restrictions), and :mod:`repro.plan.guided` (execution).
+(automorphism restrictions), :mod:`repro.plan.guided` (execution), and
+:mod:`repro.plan.fsm_guide` (per-candidate plans + MNI domain math for
+plan-guided FSM).
 """
 
+from .fsm_guide import (
+    compile_candidate_plan,
+    domain_sets_from_matches,
+    label_triples,
+    mni_support_from_domains,
+    one_edge_extensions,
+    single_edge_candidates,
+)
 from .guided import (
     guided_candidates,
     guided_extension_check,
@@ -28,14 +38,20 @@ __all__ = [
     "NAMED_SHAPES",
     "PlanError",
     "PlanStep",
+    "compile_candidate_plan",
     "compile_plan",
+    "domain_sets_from_matches",
     "guided_candidates",
     "guided_extension_check",
+    "label_triples",
     "match_mapping",
+    "mni_support_from_domains",
+    "one_edge_extensions",
     "pattern_automorphisms",
     "plan_checker",
     "read_pattern_file",
     "resolve_query",
     "satisfies_restrictions",
+    "single_edge_candidates",
     "symmetry_breaking_restrictions",
 ]

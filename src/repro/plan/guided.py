@@ -52,12 +52,37 @@ def guided_candidates(
     step = plan.steps[position]
     if not step.back_edges:
         # Only the first step of a connected plan has no back-neighbor.
-        return graph.vertices()
+        return step_zero_pool(plan, graph)
     anchor = min(
         (words[earlier] for earlier, _ in step.back_edges),
         key=lambda vertex: (graph.degree(vertex), vertex),
     )
-    return graph.neighbors(anchor)
+    neighbors = graph.neighbors(anchor)
+    if step.allowed is None:
+        return neighbors
+    # Domain-restricted step (guided FSM): the pool is the anchor
+    # neighborhood intersected with the step's whitelist, preserving the
+    # sorted neighbor order so determinism is untouched.
+    allowed = step.allowed
+    return tuple(word for word in neighbors if word in allowed)
+
+
+def step_zero_pool(plan: MatchingPlan, graph: LabeledGraph) -> Sequence[int]:
+    """The candidate pool for a plan's first step.
+
+    A whitelisted first step (guided FSM pushing parent domains down)
+    draws from its whitelist; otherwise the pool is the graph's label
+    index for the step's required label — both sorted ascending, so
+    every worker partitions the identical sequence.  Falls back to all
+    vertices only when the index would be the whole graph anyway.
+    """
+    first = plan.steps[0]
+    if first.allowed is not None:
+        return tuple(sorted(first.allowed))
+    pool = graph.vertices_with_label(first.vertex_label)
+    if len(pool) == graph.num_vertices:
+        return graph.vertices()
+    return pool
 
 
 def guided_extension_check(
@@ -77,6 +102,8 @@ def guided_extension_check(
         return False
     step = plan.steps[position]
     if graph.vertex_label(word) != step.vertex_label:
+        return False
+    if step.allowed is not None and word not in step.allowed:
         return False
     if word in parent_words:
         return False

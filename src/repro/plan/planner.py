@@ -23,6 +23,7 @@ actual candidate generation lives in :mod:`repro.plan.guided`.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 from ..core.pattern import Pattern
@@ -55,6 +56,12 @@ class PlanStep:
     #: Earlier positions whose matched vertex id must be *larger* than
     #: the candidate (restrictions ``m(this) < m(earlier)``).
     must_precede: tuple[int, ...]
+    #: Optional whitelist of graph vertices this step may match (``None``
+    #: = unrestricted).  Guided FSM pushes a candidate pattern's parent
+    #: MNI domains down here (:func:`restrict_plan`), GraMi-style: every
+    #: full match maps inherited pattern vertices into the parent's
+    #: domains, so pruning against them loses nothing.
+    allowed: frozenset[int] | None = None
 
 
 @dataclass(frozen=True)
@@ -195,3 +202,23 @@ def compile_plan(pattern: Pattern, induced: bool = True) -> MatchingPlan:
         restrictions=restrictions,
         num_automorphisms=num_automorphisms,
     )
+
+
+def restrict_plan(
+    plan: MatchingPlan, allowed_by_vertex: dict[int, frozenset[int]]
+) -> MatchingPlan:
+    """A copy of ``plan`` whose steps only match whitelisted vertices.
+
+    ``allowed_by_vertex`` maps pattern vertices to the graph vertices
+    they may be assigned (vertices absent from the dict stay
+    unrestricted).  The compiled order, constraints, and symmetry
+    restrictions are reused unchanged, so restricting a cached plan
+    costs no recompilation; soundness is the caller's contract — the
+    whitelists must cover every image the unrestricted plan could
+    produce (guided FSM derives them from complete parent domains).
+    """
+    steps = tuple(
+        dataclasses.replace(step, allowed=allowed_by_vertex.get(step.pattern_vertex))
+        for step in plan.steps
+    )
+    return dataclasses.replace(plan, steps=steps)

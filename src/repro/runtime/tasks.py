@@ -48,7 +48,12 @@ from ..core.extension import extensions
 from ..core.pattern import Pattern, PatternCanonicalizer
 from ..core.results import StepStats, WorkerDelta
 from ..core.storage import EmbeddingStore, LIST_STORAGE, ListStore, OdagStore
-from ..plan.guided import guided_candidates, guided_extension_check, plan_checker
+from ..plan.guided import (
+    guided_candidates,
+    guided_extension_check,
+    plan_checker,
+    step_zero_pool,
+)
 from ..plan.planner import MatchingPlan
 
 
@@ -127,6 +132,13 @@ class WorkerTaskContext(ComputationContext):
         if isinstance(key, Pattern):
             key = self._canonicalizer.canonicalize(key)[0]
         return self._context.published_aggregates.get(key)
+
+    def note_domain_hits(self, count: int) -> None:
+        # Guided domain accumulation (plan-guided FSM) reports how many
+        # per-vertex images it recorded; the counter merges at the step
+        # barrier like every other StepStats field, so the tally is
+        # backend- and worker-count-invariant.
+        self._delta.counters.domain_hits += count
 
 
 def _make_extension_checker(mode: str, incremental: bool, plan=None):
@@ -217,9 +229,17 @@ def _initial_pass(
     profile = context.profile_phases
     stats = delta.counters
     phase_seconds = delta.phase_seconds
-    universe = context.universe
-    assert universe is not None, "step-0 context must carry the universe"
     plan = context.plan
+    if plan is not None:
+        # Guided runs draw step 0 from the plan's pool — the label index
+        # for the first step's required label, or the step's whitelist
+        # when parent domains were pushed down (guided FSM).  The pool is
+        # sorted and identical for every worker, so the rank-range
+        # partition stays deterministic exactly like the universe's.
+        universe = step_zero_pool(plan, graph)
+    else:
+        universe = context.universe
+        assert universe is not None, "step-0 context must carry the universe"
     total = len(universe)
     num_workers = context.num_workers
     start = total * worker_id // num_workers

@@ -6,10 +6,11 @@ graph; its workload methods (``motifs``, ``match``, ``fsm``, ``cliques``,
 whose options (``backend``, ``workers``, ``storage``, ``limit``,
 ``collect``, ``unlabeled``, ``exhaustive``/``guided``/``plan``) are
 validated loudly at build time; ``.run()`` yields typed result views and
-``.stream()`` an iterator.  Pattern queries compile
-:class:`~repro.plan.MatchingPlan` objects transparently (guided execution
-is the default) and the session caches plans, the step-0 universe, and
-the stripped graph variant across queries.
+``.stream()`` an iterator.  Plan-capable queries (``match``, ``fsm``)
+compile :class:`~repro.plan.MatchingPlan` objects transparently (guided
+execution is the default, ``.exhaustive()`` opts out) and the session
+caches plans — including guided FSM's per-candidate plans — the step-0
+universe, and the stripped graph variant across queries.
 
 The CLI (:mod:`repro.cli`) and every bundled example are built on this
 facade; the older per-app helpers (``run_matching``,

@@ -21,7 +21,9 @@ per-graph rather than per-query, so repeated queries skip re-setup:
 * the **label-stripped graph variant**, built once for the first
   ``.unlabeled()`` query;
 * **compiled matching plans**, keyed by ``(canonical pattern, induced)``
-  so re-matching a pattern never recompiles it.
+  so re-matching a pattern never recompiles it — guided FSM routes every
+  candidate-pattern compilation through the same cache, so repeated
+  ``.fsm()`` runs recompile nothing.
 
 :meth:`Miner.cache_info` exposes hit/build counters; the test suite
 asserts that a reused session demonstrably skips plan recompilation and
@@ -122,7 +124,13 @@ class Miner:
         return MatchQuery(self, query, induced=induced)
 
     def fsm(self, support: int, *, max_edges: int | None = None) -> FSMQuery:
-        """Frequent subgraph mining with MNI support threshold ``support``."""
+        """Frequent subgraph mining with MNI support threshold ``support``.
+
+        Plan-guided execution is the default (per-candidate compiled
+        plans, cached on this session; MNI domains accumulated from
+        guided matches); chain ``.exhaustive()`` for the single-run
+        edge-exploration oracle.
+        """
         return FSMQuery(self, support, max_edges=max_edges)
 
     def cliques(
@@ -185,14 +193,40 @@ class Miner:
         computation: Computation,
         config: ArabesqueConfig,
     ) -> RunResult:
-        """Execute one engine run with the session's cached universe."""
+        """Execute one engine run with the session's cached universe.
+
+        Guided runs (``config.plan`` set) draw step 0 from the plan's
+        own pool, so no universe is built or counted for them."""
         self._info.runs += 1
-        return run_computation(
-            graph,
-            computation,
-            config,
-            universe=self._universe_for(computation.exploration_mode),
+        universe = (
+            None
+            if config.plan is not None
+            else self._universe_for(computation.exploration_mode)
         )
+        return run_computation(graph, computation, config, universe=universe)
+
+    def _guided_fsm(
+        self,
+        graph: LabeledGraph,
+        support: int,
+        max_edges: int | None,
+        config: ArabesqueConfig,
+    ):
+        """Run plan-guided FSM with the session's caches wired in: the
+        plan cache serves (and counts) every candidate compilation, and
+        the run counter meters each engine run.  No universe is needed —
+        guided runs draw step 0 from each plan's own pool."""
+        from ..apps.fsm import run_guided_fsm
+
+        result = run_guided_fsm(
+            graph,
+            support,
+            max_edges=max_edges,
+            config=config,
+            plan_provider=lambda pattern: self._plan_for(pattern, False),
+        )
+        self._info.runs += result.engine_runs
+        return result
 
 
 __all__ = [

@@ -15,15 +15,17 @@ workload's typed result view (:mod:`repro.session.results`);
 ``.count()`` returns just the exact output count (collection disabled);
 ``.stream()`` returns an iterator over the workload's natural items.
 
-Pattern-shaped queries (:meth:`Miner.match`) default to **guided**
-execution: the query is compiled into a
-:class:`~repro.plan.MatchingPlan` (cached on the session) and the runtime
-only proposes plan-compatible candidates.  ``.exhaustive()`` opts out into
-the filter-process oracle.  Guided queries also default to list embedding
-storage — the plan's symmetry restrictions already make every stored path
-unique, so ODAG's spurious-path re-validation is pure overhead there
-(measured in ``benchmarks/bench_planner_speedup.py``); an explicit
-``.storage()`` or ``.config()`` always wins.
+Plan-capable queries default to **guided** execution with
+``.exhaustive()`` as the opt-out into the filter-process oracle:
+:meth:`Miner.match` compiles its query into one
+:class:`~repro.plan.MatchingPlan` (cached on the session), and
+:meth:`Miner.fsm` compiles one plan per candidate pattern through the
+same cache, accumulating MNI domains from guided matches
+(:func:`repro.apps.fsm.run_guided_fsm`).  Guided queries also default to
+list embedding storage — the plan's symmetry restrictions already make
+every stored path unique, so ODAG's spurious-path re-validation is pure
+overhead there (measured in ``benchmarks/bench_planner_speedup.py``); an
+explicit ``.storage()`` or ``.config()`` always wins.
 """
 
 from __future__ import annotations
@@ -152,23 +154,27 @@ class Query:
         return self
 
     # Pattern-strategy options exist on every query so misuse fails with
-    # a message instead of an AttributeError; only MatchQuery overrides.
+    # a message instead of an AttributeError; only the plan-capable
+    # queries (MatchQuery, FSMQuery) override.
     def guided(self) -> "Query":
         raise SessionError(
             f"{self.workload} queries have no guided/exhaustive choice — "
-            "only pattern queries (Miner.match) compile exploration plans"
+            "only plan-capable queries (Miner.match, Miner.fsm) compile "
+            "exploration plans"
         )
 
     def exhaustive(self) -> "Query":
         raise SessionError(
             f"{self.workload} queries always run exhaustively — only "
-            "pattern queries (Miner.match) have an exhaustive() opt-out"
+            "plan-capable queries (Miner.match, Miner.fsm) have an "
+            "exhaustive() opt-out"
         )
 
     def plan(self, plan: MatchingPlan) -> "Query":
         raise SessionError(
             f"{self.workload} queries cannot take a precompiled plan — "
-            "only pattern queries (Miner.match) run plan-guided"
+            "only pattern queries (Miner.match) accept one (guided FSM "
+            "compiles one plan per candidate pattern itself)"
         )
 
     # ------------------------------------------------------------------
@@ -230,7 +236,9 @@ class Query:
         if base.plan is not None and not isinstance(self, _PatternShaped):
             raise SessionError(
                 f"the base config carries a MatchingPlan, but {self.workload} "
-                "queries run exhaustively — plans only drive Miner.match"
+                "queries never take one — only Miner.match accepts a "
+                "precompiled plan (guided FSM compiles one plan per "
+                "candidate pattern itself)"
             )
         overrides: dict[str, Any] = {}
         if self._workers is not None:
@@ -337,7 +345,16 @@ class CliqueQuery(Query):
 
 
 class FSMQuery(Query):
-    """Frequent subgraph mining with MNI support."""
+    """Frequent subgraph mining with MNI support.
+
+    Plan-guided execution is the default, mirroring :class:`MatchQuery`:
+    candidate patterns are grown level-wise and each one's embeddings
+    are discovered through a compiled (session-cached) plan, with MNI
+    domains accumulated straight from the guided matches.
+    ``.exhaustive()`` opts out into the single-run edge-exploration
+    oracle — the only mode that materializes per-embedding outputs, so
+    ``.collect(True)``/``.limit()``/``.count()`` require it.
+    """
 
     workload = "fsm"
     _stream_needs_outputs = False  # streams the frequent-pattern table
@@ -351,6 +368,91 @@ class FSMQuery(Query):
         FrequentSubgraphMining(support, max_edges=max_edges)  # eager check
         self._support = support
         self._max_edges = max_edges
+        self._guided: bool | None = None  # None = default (guided)
+
+    # -- strategy options ---------------------------------------------
+    def guided(self) -> "FSMQuery":
+        """Run the plan-guided per-candidate path (the default)."""
+        if self._collect is True or self._limit is not None:
+            raise SessionError(
+                "guided FSM accumulates MNI domains, not per-embedding "
+                "outputs — collect()/limit() need the exhaustive() path"
+            )
+        self._guided = True
+        return self
+
+    def exhaustive(self) -> "FSMQuery":
+        """Opt out of guided execution: one exhaustive edge-exploration
+        run covering every pattern at once (the oracle)."""
+        self._guided = False
+        return self
+
+    @property
+    def is_guided(self) -> bool:
+        return self._guided if self._guided is not None else True
+
+    # -- option interactions ------------------------------------------
+    def collect(self, flag: bool = True) -> "FSMQuery":
+        if flag and self._guided is not False:
+            raise SessionError(
+                "guided FSM (the default) accumulates MNI domains, not "
+                "per-embedding outputs — chain .exhaustive() before "
+                ".collect() to materialize frequent embeddings"
+            )
+        super().collect(flag)
+        return self
+
+    def limit(self, count: int) -> "FSMQuery":
+        if self._guided is not False:
+            raise SessionError(
+                "guided FSM (the default) produces a pattern table, not "
+                "collected outputs — chain .exhaustive() before .limit()"
+            )
+        super().limit(count)
+        return self
+
+    def count(self) -> int:
+        if self.is_guided:
+            raise SessionError(
+                "guided FSM does not materialize frequent embeddings to "
+                "count — use len(result.patterns()) for the pattern "
+                "count, or chain .exhaustive() for the embedding count"
+            )
+        return super().count()
+
+    def _default_storage(self) -> str | None:
+        # Guided FSM stores symmetry-unique plan paths per candidate, so
+        # list storage wins for the same reason it does for matches.
+        return LIST_STORAGE if self.is_guided else None
+
+    # -- execution ------------------------------------------------------
+    def run(self) -> FSMResult:
+        if not self.is_guided:
+            return super().run()
+        if self._base_config is not None and self._base_config.output_limit is not None:
+            # Mirror the .limit() rejection for the config() spelling —
+            # a capped output collection only makes sense exhaustively.
+            # (A bare collect_outputs=True cannot be rejected the same
+            # way: it is the dataclass default, so intent is invisible;
+            # the guided driver runs with collection off regardless.)
+            raise SessionError(
+                "the base config caps collected outputs "
+                "(output_limit), but guided FSM (the default) "
+                "accumulates MNI domains, not per-embedding outputs — "
+                "chain .exhaustive() to collect frequent embeddings"
+            )
+        graph = self._miner._graph_variant(self._labeled)
+        self._validate(graph)
+        config = self._build_config()
+        guided = self._miner._guided_fsm(
+            graph, self._support, self._max_edges, config
+        )
+        return FSMResult(
+            guided.combined,
+            support_threshold=self._support,
+            guided=True,
+            guided_details=guided,
+        )
 
     def _computation(self) -> Computation:
         from ..apps.fsm import FrequentSubgraphMining
@@ -358,7 +460,7 @@ class FSMQuery(Query):
         return FrequentSubgraphMining(self._support, max_edges=self._max_edges)
 
     def _wrap(self, raw) -> FSMResult:
-        return FSMResult(raw, support_threshold=self._support)
+        return FSMResult(raw, support_threshold=self._support, guided=False)
 
     def _stream_items(self, result: FSMResult) -> Any:
         return sorted(

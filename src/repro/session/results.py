@@ -17,6 +17,7 @@ from ..core.pattern import Pattern
 from ..core.results import RunResult
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..apps.fsm import GuidedFSMResult
     from ..plan.planner import MatchingPlan
 
 
@@ -110,10 +111,23 @@ class MatchResult(MiningResult):
 
 @dataclass(frozen=True)
 class FSMResult(MiningResult):
-    """Frequent-subgraph view: canonical pattern -> MNI support."""
+    """Frequent-subgraph view: canonical pattern -> MNI support.
+
+    Both strategies land here: the exhaustive single-run path wraps its
+    engine record directly, the plan-guided path wraps the combined
+    record of its per-candidate runs (same ``final_aggregates`` surface:
+    canonical pattern -> merged :class:`~repro.apps.support.Domain`), so
+    ``patterns()`` and ``.raw`` metrics work identically for both.
+    """
 
     #: The θ threshold the query mined with.
     support_threshold: int = 1
+    #: Whether the plan-guided per-candidate path ran (False = the
+    #: exhaustive edge-exploration oracle).
+    guided: bool = True
+    #: Level-by-level accounting of the guided run (None on the
+    #: exhaustive path): candidates, prunes, per-level candidate counts.
+    guided_details: "GuidedFSMResult | None" = None
 
     def patterns(self, support_threshold: int | None = None) -> dict[Pattern, int]:
         """Frequent canonical patterns with their MNI support.

@@ -100,7 +100,30 @@ class TestCommands:
             ["fsm", str(edge_list_file), "--support", "3", "--max-edges", "2"]
         ) == 0
         out = capsys.readouterr().out
+        assert "fsm (guided)" in out
         assert "pattern labels=" in out
+
+    def test_fsm_exhaustive_round_trip(self, capsys, edge_list_file):
+        """`fsm` and `fsm --exhaustive` print the identical pattern table."""
+
+        def pattern_lines(args):
+            assert main(args) == 0
+            out = capsys.readouterr().out
+            return [
+                line for line in out.splitlines()
+                if line.startswith("pattern labels=")
+            ]
+
+        base = ["fsm", str(edge_list_file), "--support", "3",
+                "--max-edges", "2"]
+        guided = pattern_lines(base)
+        exhaustive = pattern_lines(base + ["--exhaustive"])
+        assert guided and guided == exhaustive
+
+    def test_fsm_strategy_flags_conflict(self, edge_list_file):
+        with pytest.raises(SystemExit):
+            main(["fsm", str(edge_list_file), "--support", "3",
+                  "--guided", "--exhaustive"])
 
     def test_fsm_requires_support(self, edge_list_file):
         with pytest.raises(SystemExit):

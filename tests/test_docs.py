@@ -1,0 +1,93 @@
+"""Docs stay wired: relative links resolve and the checker itself works.
+
+CI has a dedicated docs job running ``tools/check_links.py``; this
+mirror in tier 1 means a broken link also fails the local suite, and the
+checker's own parsing rules (code fences skipped, anchors validated)
+are pinned down.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "tools"))
+
+import check_links  # noqa: E402
+
+
+class TestRepoDocs:
+    def test_repo_markdown_links_resolve(self):
+        problems = []
+        for spec in ("README.md", "ROADMAP.md", "docs"):
+            for path in check_links.collect_markdown([str(REPO / spec)]):
+                problems.extend(check_links.check_file(path))
+        assert problems == []
+
+    def test_docs_exist_and_are_linked_from_readme(self):
+        readme = (REPO / "README.md").read_text(encoding="utf-8")
+        assert "docs/architecture.md" in readme
+        assert "docs/fsm.md" in readme
+        assert (REPO / "docs" / "architecture.md").exists()
+        assert (REPO / "docs" / "fsm.md").exists()
+
+    def test_cli_entry_point(self):
+        result = subprocess.run(
+            [sys.executable, str(REPO / "tools" / "check_links.py"),
+             str(REPO / "README.md")],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "OK" in result.stdout
+
+
+class TestCheckerRules:
+    def test_broken_relative_link_reported(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("[missing](nope.md)\n", encoding="utf-8")
+        problems = check_links.check_file(doc)
+        assert len(problems) == 1 and "nope.md" in problems[0]
+
+    def test_existing_relative_link_ok(self, tmp_path):
+        (tmp_path / "other.md").write_text("# Title\n", encoding="utf-8")
+        doc = tmp_path / "doc.md"
+        doc.write_text("[there](other.md)\n", encoding="utf-8")
+        assert check_links.check_file(doc) == []
+
+    def test_fragment_checked_against_headings(self, tmp_path):
+        (tmp_path / "other.md").write_text(
+            "# Big Title\n\n## Sub section\n", encoding="utf-8"
+        )
+        doc = tmp_path / "doc.md"
+        doc.write_text(
+            "[good](other.md#sub-section)\n[bad](other.md#nope)\n",
+            encoding="utf-8",
+        )
+        problems = check_links.check_file(doc)
+        assert len(problems) == 1 and "#nope" in problems[0]
+
+    def test_in_page_anchor(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text(
+            "# My Heading\n[jump](#my-heading)\n[bad](#absent)\n",
+            encoding="utf-8",
+        )
+        problems = check_links.check_file(doc)
+        assert len(problems) == 1 and "#absent" in problems[0]
+
+    def test_code_fences_and_external_links_skipped(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text(
+            "```\n[fake](not_a_file.md)\n```\n"
+            "[web](https://example.com/x)\n[mail](mailto:a@b.c)\n",
+            encoding="utf-8",
+        )
+        assert check_links.check_file(doc) == []
+
+    def test_directory_collection(self, tmp_path):
+        (tmp_path / "sub").mkdir()
+        (tmp_path / "a.md").write_text("ok\n", encoding="utf-8")
+        (tmp_path / "sub" / "b.md").write_text("ok\n", encoding="utf-8")
+        files = check_links.collect_markdown([str(tmp_path)])
+        assert [f.name for f in files] == ["a.md", "b.md"]

@@ -156,13 +156,19 @@ class TestMatchStrategyValidation:
         with pytest.raises(SessionError, match="MatchingPlan"):
             miner.match("triangle").plan("triangle")
 
-    def test_guided_exhaustive_only_for_pattern_queries(self, miner):
+    def test_guided_exhaustive_only_for_plan_capable_queries(self, miner):
         with pytest.raises(SessionError, match="motifs"):
             miner.motifs(3).guided()
-        with pytest.raises(SessionError, match="fsm"):
-            miner.fsm(2).exhaustive()
+        with pytest.raises(SessionError, match="cliques"):
+            miner.cliques(3).exhaustive()
         with pytest.raises(SessionError, match="cliques"):
             miner.cliques(3).plan(compile_plan(NAMED_SHAPES["triangle"]))
+        # FSM is plan-capable (guided by default) but compiles its own
+        # per-candidate plans — a single precompiled plan is rejected.
+        with pytest.raises(SessionError, match="per candidate"):
+            miner.fsm(2).plan(compile_plan(NAMED_SHAPES["triangle"]))
+        assert miner.fsm(2).exhaustive().is_guided is False
+        assert miner.fsm(2).guided().is_guided is True
 
     def test_disconnected_pattern_rejected_at_build(self, miner):
         disconnected = Pattern((0, 0, 0, 0), ((0, 1, 0), (2, 3, 0)))
@@ -281,9 +287,16 @@ class TestLegacyEquivalence:
         legacy = run_computation(
             graph, FrequentSubgraphMining(3, max_edges=2), config
         )
-        facade = Miner(graph).fsm(3, max_edges=2).collect(False).run()
+        facade = (
+            Miner(graph).fsm(3, max_edges=2).exhaustive().collect(False).run()
+        )
         assert facade.signature() == legacy.canonical_signature()
         assert facade.patterns() == frequent_patterns(legacy, 3)
+        # The guided default returns the identical pattern table through
+        # a completely different execution strategy.
+        guided = Miner(graph).fsm(3, max_edges=2).run()
+        assert guided.guided and not facade.guided
+        assert guided.patterns() == facade.patterns()
 
     def test_cliques_match_direct_engine_run(self, graph):
         legacy = run_computation(
@@ -390,17 +403,29 @@ class TestSessionCaching:
         )
         miner.motifs(3).unlabeled().collect(False).run()
         miner.cliques(3, min_size=3).run()
+        # Guided match queries bring their own step-0 pool (the plan's
+        # label index), so they neither build nor hit the universe.
         miner.match("triangle").unlabeled().run()
         assert calls == ["vertex"]  # one vertex universe, built once
         info = miner.cache_info()
         assert info.universe_builds == 1
-        assert info.universe_hits == 2
+        assert info.universe_hits == 1
         assert info.runs == 3
+        miner.match("triangle").unlabeled().exhaustive().run()
+        assert miner.cache_info().universe_hits == 2
 
     def test_universe_cached_per_exploration_mode(self, miner):
         miner.motifs(3).unlabeled().collect(False).run()   # vertex mode
-        miner.fsm(3, max_edges=2).collect(False).run()     # edge mode
+        # Exhaustive FSM is the one edge-exploration workload; guided
+        # FSM (the default) runs vertex-mode per-candidate plans.
+        miner.fsm(3, max_edges=2).exhaustive().collect(False).run()
         miner.cliques(3, min_size=3).run()                 # vertex again
+        info = miner.cache_info()
+        assert info.universe_builds == 2
+        assert info.universe_hits == 1
+        # Guided FSM needs no universe at all: each candidate plan
+        # brings its own step-0 pool (label index / domain whitelist).
+        miner.fsm(3, max_edges=2).run()
         info = miner.cache_info()
         assert info.universe_builds == 2
         assert info.universe_hits == 1

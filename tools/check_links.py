@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Relative-link checker for the repo's markdown docs (stdlib only).
+
+Scans markdown files for inline links and images (``[text](target)`` /
+``![alt](target)``) and reference definitions (``[label]: target``),
+and fails when a *relative* target does not exist on disk.  External
+schemes (http/https/mailto) and pure in-page anchors (``#section``) are
+skipped; a relative target's ``#fragment`` suffix is checked against the
+target file's headings when the target is markdown.
+
+Usage::
+
+    python tools/check_links.py README.md ROADMAP.md docs
+
+Directory arguments are scanned for ``*.md`` recursively.  Exit status
+is 0 when every link resolves, 1 otherwise (broken links are listed).
+CI runs this over README.md, ROADMAP.md, and docs/.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline ``[text](target)`` / ``![alt](target)`` — target ends at the
+#: first unescaped closing paren (no nested parens in our docs).
+INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+#: Reference definitions: ``[label]: target``.
+REFERENCE_DEF = re.compile(r"^\s{0,3}\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+#: Fenced code blocks — links inside them are examples, not links.
+CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def heading_anchors(markdown: str) -> set[str]:
+    """GitHub-style anchors for every heading in a markdown document."""
+    anchors: set[str] = set()
+    for line in CODE_FENCE.sub("", markdown).splitlines():
+        match = re.match(r"\s{0,3}#{1,6}\s+(.*)", line)
+        if not match:
+            continue
+        # GitHub's slug rule: lowercase, drop everything that is not a
+        # word character / space / hyphen (so '?', ':', '.' vanish),
+        # then spaces become hyphens.
+        title = re.sub(r"[^\w\s-]", "", match.group(1)).strip().lower()
+        anchors.add(re.sub(r"\s+", "-", title))
+    return anchors
+
+
+def link_targets(markdown: str) -> list[str]:
+    """Every link/image/reference target in a document, code fences
+    stripped first."""
+    stripped = CODE_FENCE.sub("", markdown)
+    return INLINE_LINK.findall(stripped) + REFERENCE_DEF.findall(stripped)
+
+
+def check_file(path: Path) -> list[str]:
+    """Broken-link descriptions for one markdown file (empty = clean)."""
+    problems: list[str] = []
+    markdown = path.read_text(encoding="utf-8")
+    for target in link_targets(markdown):
+        if target.startswith(EXTERNAL):
+            continue
+        if target.startswith("#"):
+            if target[1:].lower() not in heading_anchors(markdown):
+                problems.append(f"{path}: broken in-page anchor {target!r}")
+            continue
+        relative, _, fragment = target.partition("#")
+        resolved = (path.parent / relative).resolve()
+        if not resolved.exists():
+            problems.append(f"{path}: broken relative link {target!r}")
+            continue
+        if fragment and resolved.suffix == ".md":
+            anchors = heading_anchors(resolved.read_text(encoding="utf-8"))
+            if fragment.lower() not in anchors:
+                problems.append(
+                    f"{path}: link {target!r} points at a missing "
+                    f"heading #{fragment}"
+                )
+    return problems
+
+
+def collect_markdown(arguments: list[str]) -> list[Path]:
+    files: list[Path] = []
+    for argument in arguments:
+        path = Path(argument)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        else:
+            files.append(path)
+    return files
+
+
+def main(argv: list[str]) -> int:
+    arguments = argv or ["README.md", "ROADMAP.md", "docs"]
+    files = collect_markdown(arguments)
+    if not files:
+        print("check_links: no markdown files found", file=sys.stderr)
+        return 1
+    problems: list[str] = []
+    for path in files:
+        if not path.exists():
+            problems.append(f"{path}: file does not exist")
+            continue
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    print(
+        f"check_links: {len(files)} files, "
+        f"{'OK' if not problems else f'{len(problems)} broken link(s)'}"
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
