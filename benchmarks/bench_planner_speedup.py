@@ -26,12 +26,21 @@ facade (:mod:`repro.session`) defaults guided pattern queries to list
 storage.
 
 A third section measures **plan-guided FSM** (the ROADMAP's "plan-guided
-FSM" item): level-wise candidate growth with per-candidate compiled
-plans, parent MNI domains pushed down as per-step whitelists, and
+FSM" item): level-wise candidate growth with per-level batched plan
+DAGs, parent MNI domains pushed down as per-leaf whitelists, and
 Apriori pruning — against the exhaustive edge-exploration FSM that
 covers all patterns in one run.  Frequent patterns and supports must
 agree exactly (hard assert), and the aggregate extension-candidate
 reduction must reach the >= 2x acceptance bar.
+
+A fourth section measures **multi-query plan DAGs** (the ROADMAP's
+"multi-query plans" item): the whole motif distribution answered in ONE
+DAG-guided engine run versus one guided run per motif pattern.  Sibling
+motifs share their common subpattern's exploration prefix, so the DAG
+generates (and stores) shared partial matches once; the distribution
+must equal both the per-pattern guided counts and the exhaustive
+``MotifCounting`` oracle (hard assert), and the DAG must generate >=
+1.5x fewer extension candidates than the per-pattern runs combined.
 
 ``BENCH_QUICK=1`` shrinks the workloads to tiny graphs so CI can
 smoke-run the bench in seconds.
@@ -57,6 +66,10 @@ TARGET_CANDIDATE_RATIO = 3.0
 #: FSM acceptance bar: guided FSM must generate >= 2x fewer extension
 #: candidates than the exhaustive edge-exploration run.
 TARGET_FSM_CANDIDATE_RATIO = 2.0
+
+#: Multi-query acceptance bar: one DAG-guided motif run must generate
+#: >= 1.5x fewer extension candidates than per-pattern guided runs.
+TARGET_DAG_CANDIDATE_RATIO = 1.5
 
 
 def _workloads():
@@ -307,8 +320,9 @@ def run_guided_fsm_speedup():
         f"(target >= {TARGET_FSM_CANDIDATE_RATIO:.0f}x)",
         "frequent patterns and MNI supports agree exactly on every "
         "workload (hard-asserted)",
-        "guided = per-candidate compiled plans + parent-domain push-down "
-        "+ Apriori pruning; 'pruned' candidates never reach the engine",
+        "guided = one batched multi-query plan DAG per level + "
+        "parent-domain push-down + Apriori pruning; 'pruned' candidates "
+        "never reach the engine",
     ]
     report(
         "planner_guided_fsm",
@@ -318,6 +332,105 @@ def run_guided_fsm_speedup():
     assert aggregate >= TARGET_FSM_CANDIDATE_RATIO, (
         f"aggregate FSM candidate reduction {aggregate:.2f}x misses the "
         f"{TARGET_FSM_CANDIDATE_RATIO}x bar"
+    )
+    return aggregate
+
+
+def _motif_workloads():
+    """(graph name, graph, max motif size) for the multi-query section.
+
+    ``max_size=4`` is where sharing pays: the order-4 motif batch shares
+    its step-0/1 prefix across every sibling.  The *labeled*
+    distributions are the headline — thousands of labeled candidates
+    collapse onto a few hundred shared trie prefixes, so per-pattern
+    execution re-pays the same early steps thousands of times — while
+    the unlabeled sparse workload is the honest floor: only 8 siblings,
+    final-level pools dominate, and sharing buys a modest factor.
+    """
+    if QUICK:
+        return [("tiny-gnm", strip_labels(gnm_random_graph(40, 100, seed=7)), 4)]
+    return [
+        ("citeseer-0.15-lab", citeseer_like(scale=0.15), 4),
+        ("citeseer-0.3-lab", citeseer_like(scale=0.3), 4),
+        ("mico-0.002", strip_labels(mico_like(scale=0.002)), 4),
+    ]
+
+
+def run_multi_query_motifs():
+    """One DAG-guided motif run vs one guided run per motif pattern.
+
+    Returns the aggregate per-pattern/DAG extension-candidate ratio;
+    hard-asserts distribution equality (DAG == per-pattern == exhaustive
+    ``MotifCounting``) per workload and the >= 1.5x reduction bar.
+    """
+    from repro.apps import MotifCounting, motif_counts
+    from repro.core import ArabesqueConfig, run_computation
+
+    rows = []
+    total_dag = 0
+    total_per_pattern = 0
+    for graph_name, graph, max_size in _motif_workloads():
+        miner = Miner(graph)
+        started = time.perf_counter()
+        dag_result = miner.motifs(max_size).run()
+        dag_wall = time.perf_counter() - started
+        assert dag_result.dag is not None
+        batch = dag_result.dag.patterns
+        per_pattern_candidates = 0
+        started = time.perf_counter()
+        per_pattern_counts = {}
+        for pattern in batch:
+            solo = miner.match(pattern, induced=True).collect(False).run()
+            per_pattern_candidates += solo.raw.total_candidates
+            if solo.num_matches:
+                per_pattern_counts[pattern] = solo.num_matches
+        per_pattern_wall = time.perf_counter() - started
+        exhaustive = run_computation(
+            graph,
+            MotifCounting(max_size),
+            ArabesqueConfig(collect_outputs=False),
+        )
+        assert dag_result.counts() == per_pattern_counts == motif_counts(
+            exhaustive
+        ), f"motif strategies disagree on {graph_name}"
+        dag_candidates = dag_result.total_candidates
+        total_dag += dag_candidates
+        total_per_pattern += per_pattern_candidates
+        ratio = per_pattern_candidates / max(1, dag_candidates)
+        rows.append(
+            f"{graph_name:<18} {max_size:>2} {len(batch):>6,} "
+            f"{dag_result.dag.num_nodes:>5}/{dag_result.dag.total_plan_steps:<5} "
+            f"{fmt_count(per_pattern_candidates):>10} "
+            f"{fmt_count(dag_candidates):>10} {ratio:>7.2f}x "
+            f"{per_pattern_wall:>7.2f}s {dag_wall:>7.2f}s "
+            f"{per_pattern_wall / max(1e-9, dag_wall):>6.1f}x"
+        )
+    aggregate = total_per_pattern / max(1, total_dag)
+    lines = [
+        f"{'graph':<18} {'k':>2} {'motifs':>6} {'nodes/steps':>11} "
+        f"{'cand(per)':>10} {'cand(dag)':>10} {'c-ratio':>8} "
+        f"{'wall(per)':>8} {'wall(dag)':>8} {'w-ratio':>7}",
+        *rows,
+        "",
+        f"aggregate candidates: {fmt_count(total_per_pattern)} per-pattern "
+        f"guided vs {fmt_count(total_dag)} DAG-guided = {aggregate:.2f}x "
+        f"fewer (target >= {TARGET_DAG_CANDIDATE_RATIO:.1f}x)",
+        "distributions agree exactly with per-pattern guided counts AND "
+        "the exhaustive MotifCounting oracle (hard-asserted)",
+        "one engine run answers the full distribution: shared motif "
+        "prefixes are generated and stored once, not once per pattern",
+        "labeled batches (thousands of candidates, -lab rows) are where "
+        "sharing pays ~10x; sparse unlabeled batches (8 siblings, "
+        "final-level pools dominate) set the honest ~1.3x floor",
+    ]
+    report(
+        "planner_multi_query",
+        "Multi-query plan DAGs: one motif-distribution run vs per-pattern",
+        lines,
+    )
+    assert aggregate >= TARGET_DAG_CANDIDATE_RATIO, (
+        f"aggregate DAG candidate reduction {aggregate:.2f}x misses the "
+        f"{TARGET_DAG_CANDIDATE_RATIO}x bar"
     )
     return aggregate
 
@@ -348,7 +461,19 @@ def test_guided_fsm_speedup(benchmark):
     assert outcome["aggregate"] >= TARGET_FSM_CANDIDATE_RATIO
 
 
+def test_multi_query_motifs(benchmark):
+    outcome = {}
+
+    def run_all():
+        outcome["aggregate"] = run_multi_query_motifs()
+        return outcome["aggregate"]
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    assert outcome["aggregate"] >= TARGET_DAG_CANDIDATE_RATIO
+
+
 if __name__ == "__main__":  # pragma: no cover
     run_planner_speedup()
     run_guided_storage_interplay()
     run_guided_fsm_speedup()
+    run_multi_query_motifs()

@@ -7,6 +7,7 @@ from .frequent_cliques import (
     frequent_clique_patterns,
 )
 from .fsm import (
+    DagPatternDomains,
     FrequentEmbedding,
     FrequentSubgraphMining,
     GuidedFSMLevel,
@@ -25,9 +26,13 @@ from .matching import (
 )
 from .maximal_cliques import MaximalCliqueFinding, is_maximal_clique
 from .motifs import (
+    DagMotifCounting,
+    GuidedMotifsRun,
     MotifCounting,
+    enumerate_motif_patterns,
     motif_counts,
     motif_counts_by_size,
+    run_guided_motifs,
     single_motif_count,
 )
 from .support import Domain
@@ -40,6 +45,8 @@ from .transactional_fsm import (
 
 __all__ = [
     "CliqueFinding",
+    "DagMotifCounting",
+    "DagPatternDomains",
     "Domain",
     "FrequentClique",
     "FrequentCliqueMining",
@@ -50,6 +57,7 @@ __all__ = [
     "GuidedFSMLevel",
     "GuidedFSMResult",
     "GuidedMatching",
+    "GuidedMotifsRun",
     "GuidedPatternDomains",
     "InexactMatching",
     "MaximalCliqueFinding",
@@ -57,6 +65,7 @@ __all__ = [
     "TidSet",
     "TransactionalFSM",
     "cliques_by_size",
+    "enumerate_motif_patterns",
     "frequent_clique_patterns",
     "frequent_patterns",
     "is_maximal_clique",
@@ -66,6 +75,7 @@ __all__ = [
     "motif_counts_by_size",
     "pattern_embeds_in",
     "run_guided_fsm",
+    "run_guided_motifs",
     "run_matching",
     "single_motif_count",
     "transactional_frequent_patterns",

@@ -10,16 +10,20 @@ exploration is pattern-agnostic: every embedding of every surviving
 pattern is extended in every direction.
 
 **Plan-guided** (:func:`run_guided_fsm`, the fast path): GraMi-style
-level-wise pattern growth where each candidate pattern's embeddings are
-discovered through its compiled :class:`~repro.plan.MatchingPlan` on the
-guided runtime path, and MNI domains are accumulated directly from the
-guided matches (one :class:`~repro.apps.support.Domain` per match, merged
-through the aggregation channel) instead of materializing and
-re-aggregating full embedding stores.  Candidate generation, plan
-compilation helpers, and the orbit-folding support math live in
-:mod:`repro.plan.fsm_guide`.  Both strategies return identical frequent
-patterns and supports; the session facade (``Miner.fsm``) runs guided by
-default with ``.exhaustive()`` as the opt-out.
+level-wise pattern growth where each level's surviving candidates are
+batched into ONE multi-query :class:`~repro.plan.dag.PlanDAG` (shared
+prefix exploration with prefix-affine matching orders; parent-domain
+whitelists pushed down per leaf via :func:`repro.plan.dag.restrict_dag`)
+and evaluated in a single guided engine run per level:
+:class:`DagPatternDomains` accumulates one
+:class:`~repro.apps.support.Domain` per (match, accepting leaf), and the
+aggregation channel demultiplexes the merged domains by leaf pattern —
+no full embedding stores are materialized and no per-candidate engine
+runs are paid.  Candidate generation, DAG compilation helpers, and the
+orbit-folding support math live in :mod:`repro.plan.fsm_guide`.  Both
+strategies return identical frequent patterns and supports; the session
+facade (``Miner.fsm``) runs guided by default with ``.exhaustive()`` as
+the opt-out.
 
 Anti-monotonicity holds because MNI support never grows under extension
 (:mod:`repro.apps.support`), so α-pruned subtrees (exhaustive) and
@@ -44,16 +48,17 @@ from ..core.pattern import Pattern
 from ..core.results import RunResult, StepStats
 from ..core.storage import LIST_STORAGE
 from ..graph import LabeledGraph
+from ..plan.dag import PlanDAG, bound_stepper, restrict_dag
 from ..plan.fsm_guide import (
-    PlanProvider,
-    default_plan_provider,
+    DagProvider,
+    default_dag_provider,
     has_infrequent_subpattern,
     label_triples,
     one_edge_extensions_with_maps,
     single_edge_domains,
 )
 from ..plan.guided import match_mapping
-from ..plan.planner import MatchingPlan, restrict_plan
+from ..plan.planner import MatchingPlan
 from .support import Domain
 
 
@@ -182,6 +187,55 @@ class GuidedPatternDomains(Computation):
         return embedding.size >= self.plan.num_steps
 
 
+class DagPatternDomains(Computation):
+    """Discover one candidate *batch*'s embeddings through a multi-query
+    DAG and accumulate per-candidate MNI domains in a single run.
+
+    Run with ``config.plan`` set to the same DAG (:func:`run_guided_fsm`
+    wires this up).  The runtime advances each embedding against the
+    whole batch at once; ``process`` maps one singleton
+    :class:`~repro.apps.support.Domain` per accepting leaf, keyed by that
+    leaf's canonical pattern — so the aggregation channel demultiplexes
+    the merged domains by leaf, and ``final_aggregates[pattern]`` reads
+    exactly as it did with one engine run per candidate.  Under
+    monomorphic semantics one embedding can be an accepting leaf of
+    several siblings (its extra graph edges belong to a denser
+    candidate's edge set); each gets its own domain contribution, exactly
+    as its solo run would have found.  Support read-out folds each
+    canonical pattern's automorphism orbits (:meth:`Domain.support`),
+    restoring the images symmetry breaking deduplicated.
+    """
+
+    exploration_mode = VERTEX_EXPLORATION
+    plan_compatible = True
+
+    def __init__(self, dag: PlanDAG):
+        super().__init__()
+        if dag.induced:
+            raise ValueError(
+                "FSM candidate DAGs must use monomorphic semantics "
+                "(compile with induced=False); edge-based embeddings are "
+                "monomorphism images"
+            )
+        self.plan = dag
+
+    def process(self, embedding: Embedding) -> None:
+        words = embedding.words
+        stepper = bound_stepper(self, self.plan, embedding.graph)
+        for member in stepper.accepting(words):
+            plan = self.plan.plans[member]
+            mapping = match_mapping(plan, words)
+            self.note_domain_hits(len(mapping))
+            self.map(plan.pattern, Domain.from_mapping(mapping))
+
+    def reduce(self, key, domains: list[Domain]) -> Domain:
+        return Domain.merge_all(domains)
+
+    def termination_filter(self, embedding: Embedding) -> bool:
+        stepper = bound_stepper(self, self.plan, embedding.graph)
+        return not stepper.extendable(embedding.words)
+
+
 @dataclass(frozen=True)
 class GuidedFSMLevel:
     """Per-level accounting of one guided FSM run (level = pattern edges)."""
@@ -194,8 +248,9 @@ class GuidedFSMLevel:
     pruned: int
     #: Candidates found frequent (the next level grows from these).
     frequent: int
-    #: Extension candidates generated across the level's guided runs —
-    #: the machine-independent cost metric the planner bench compares.
+    #: Extension candidates generated by the level's batched guided run —
+    #: the machine-independent cost metric the planner bench compares
+    #: (shared sibling prefixes are generated, and counted, once).
     candidates_generated: int
 
 
@@ -203,10 +258,11 @@ class GuidedFSMLevel:
 class GuidedFSMResult:
     """Everything a plan-guided FSM run produces.
 
-    ``combined`` is the engine-record view over all per-candidate runs:
-    steps and metrics concatenated, ``final_aggregates`` holding each
-    evaluated candidate's merged :class:`Domain` under its canonical
-    pattern — exactly the surface :func:`frequent_patterns` and
+    ``combined`` is the engine-record view over the per-level batched
+    runs: steps and metrics concatenated, ``final_aggregates`` holding
+    each evaluated candidate's merged :class:`Domain` under its canonical
+    pattern (demuxed by accepting leaf) — exactly the surface
+    :func:`frequent_patterns` and
     :class:`~repro.session.results.FSMResult` already consume, and the
     byte-identity surface (``combined.canonical_signature()``) the
     cross-backend tests compare.
@@ -216,7 +272,9 @@ class GuidedFSMResult:
     max_edges: int | None
     frequent: dict[Pattern, int] = field(default_factory=dict)
     levels: list[GuidedFSMLevel] = field(default_factory=list)
-    #: Engine runs executed (== candidate patterns evaluated).
+    #: Engine runs executed (== levels with at least one candidate
+    #: surviving the Apriori/empty-whitelist prunes — one batched
+    #: multi-query run per level, not one per candidate).
     engine_runs: int = 0
     combined: RunResult = field(default_factory=RunResult)
 
@@ -258,37 +316,44 @@ def run_guided_fsm(
     max_edges: int | None = None,
     *,
     config: ArabesqueConfig | None = None,
-    plan_provider: PlanProvider | None = None,
+    dag_provider: DagProvider | None = None,
 ) -> GuidedFSMResult:
-    """Plan-guided FSM: level-wise pattern growth, guided discovery.
+    """Plan-guided FSM: level-wise pattern growth, batched guided discovery.
 
     Level k evaluates the canonical one-edge extensions of level k-1's
-    frequent patterns (level 1: one candidate per label triple class);
-    each candidate's embeddings are discovered through its compiled plan
-    on the guided runtime path and its MNI support is read from the
-    accumulated domains.  Returns identical frequent patterns and
+    frequent patterns (level 1: one candidate per label triple class).
+    All of a level's surviving candidates are compiled into ONE
+    multi-query plan DAG — sibling candidates share their common
+    subpattern's exploration prefix — with each candidate's pushed-down
+    parent-domain whitelists overlaid per leaf
+    (:func:`repro.plan.dag.restrict_dag`), and evaluated in a single
+    guided engine run; MNI supports are read from the per-leaf
+    demultiplexed domains.  Returns identical frequent patterns and
     supports to the exhaustive :class:`FrequentSubgraphMining` +
     :func:`frequent_patterns` pipeline and to the GraMi baseline,
     byte-identically across execution backends.
 
     ``config`` carries the execution knobs (backend, workers, storage —
     ``None`` defaults to list storage, the guided sweet spot); its
-    ``plan``/output fields are overridden per candidate run.
-    ``plan_provider`` supplies compiled plans for canonical candidate
-    patterns (a session passes its cross-query cache; default compiles
-    with a run-local memo).  No step-0 universe is involved: every
-    per-candidate run draws its step 0 from the plan's own pool (label
-    index or pushed-down whitelist).
+    ``plan``/output fields are overridden per level run.
+    ``dag_provider`` supplies compiled DAGs for canonical candidate
+    batches (a session passes its cross-query DAG cache; default
+    compiles with a run-local memo) — whitelists are overlaid per run on
+    top of the cached structure, so caching never recompiles orders or
+    symmetry.  No step-0 universe is involved: every level run draws its
+    step 0 from the DAG's own root pools (label indexes or pushed-down
+    whitelists).
     """
     if support_threshold < 1:
         raise ValueError("support_threshold must be >= 1")
     if max_edges is not None and max_edges < 1:
         raise ValueError("max_edges must be >= 1 when given")
     base = config if config is not None else ArabesqueConfig(storage=LIST_STORAGE)
-    provide = plan_provider if plan_provider is not None else default_plan_provider()
+    provide = dag_provider if dag_provider is not None else default_dag_provider()
 
-    # One engine run per candidate; import here mirrors the engine's own
-    # lazy runtime import (runtime -> core.config would otherwise cycle).
+    # One batched engine run per level; import here mirrors the engine's
+    # own lazy runtime import (runtime -> core.config would otherwise
+    # cycle).
     from ..core.engine import run_computation
     from ..runtime.base import make_backend
 
@@ -365,36 +430,49 @@ def run_guided_fsm(
             frequent_now = []
             level_candidates = 0
             pruned = 0
+            evaluated: list[tuple[Pattern, dict[int, frozenset[int]]]] = []
             for pattern, allowed in pending:
                 if any(not images for images in allowed.values()) or (
                     has_infrequent_subpattern(pattern, result.frequent)
                 ):
                     # Zero possible matches, or an infrequent subpattern
-                    # (MNI anti-monotonicity) — no engine run needed.
+                    # (MNI anti-monotonicity) — never reaches the engine.
                     pruned += 1
                     continue
-                plan = restrict_plan(provide(pattern), allowed)
+                evaluated.append((pattern, allowed))
+            if evaluated:
+                # One engine run for the whole level: the batch DAG shares
+                # sibling prefixes, the per-leaf whitelists push each
+                # candidate's parent domains down, and the aggregation
+                # channel demuxes the merged MNI domains by leaf pattern.
+                dag = restrict_dag(
+                    provide(tuple(pattern for pattern, _ in evaluated)),
+                    dict(evaluated),
+                )
                 run_config = dataclasses.replace(
-                    base, plan=plan, collect_outputs=False, output_limit=None
+                    base, plan=dag, collect_outputs=False, output_limit=None
                 )
                 run = run_computation(
                     graph,
-                    GuidedPatternDomains(plan),
+                    DagPatternDomains(dag),
                     run_config,
                     backend=backend,
                 )
                 result.engine_runs += 1
-                level_candidates += run.total_candidates
-                domain = run.final_aggregates.get(pattern)
-                if domain is not None:
-                    result.combined.final_aggregates[pattern] = domain
-                support = (
-                    domain.support(pattern.orbits()) if domain is not None else 0
-                )
+                level_candidates = run.total_candidates
                 _fold_run(result.combined, run)
-                if support >= support_threshold:
-                    result.frequent[pattern] = support
-                    frequent_now.append((pattern, domain))
+                for pattern, _ in evaluated:
+                    domain = run.final_aggregates.get(pattern)
+                    if domain is not None:
+                        result.combined.final_aggregates[pattern] = domain
+                    support = (
+                        domain.support(pattern.orbits())
+                        if domain is not None
+                        else 0
+                    )
+                    if support >= support_threshold:
+                        result.frequent[pattern] = support
+                        frequent_now.append((pattern, domain))
             result.levels.append(
                 GuidedFSMLevel(
                     level=level,

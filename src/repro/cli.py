@@ -2,7 +2,7 @@
 
 Usage::
 
-    python -m repro motifs          GRAPH --max-size 3
+    python -m repro motifs          GRAPH --max-size 3 [--exhaustive]
     python -m repro cliques         GRAPH --max-size 4 [--maximal]
     python -m repro maximal-cliques GRAPH --max-size 5
     python -m repro fsm             GRAPH --support 100 [--max-edges 3] [--exhaustive]
@@ -31,6 +31,12 @@ default, mirroring the facade: the query is compiled into a pattern-aware
 exploration plan (:mod:`repro.plan`) that proposes only plan-compatible
 candidates.  ``--exhaustive`` opts out into the filter-process oracle —
 identical matches, many more candidates.
+
+``motifs`` and ``fsm`` are guided by default too: ``motifs`` compiles the
+whole motif batch into one multi-query plan DAG (:mod:`repro.plan.dag`)
+and answers the distribution in a single engine run; ``fsm`` batches each
+level's surviving candidates into one DAG run.  Both accept
+``--exhaustive`` for the identical-result oracle.
 """
 
 from __future__ import annotations
@@ -107,8 +113,23 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
 def cmd_motifs(args: argparse.Namespace) -> int:
     session = open_session(args)
-    query = configure(session.motifs(max_size=args.max_size), args)
-    result = query.collect(False).run()
+    # One handler for the whole distribution layer: guided + collect-style
+    # flag conflicts exit cleanly with the facade's loud SessionError
+    # instead of dumping a traceback (mirrors cmd_match).
+    try:
+        query = session.motifs(max_size=args.max_size)
+        if not args.guided:
+            query.exhaustive()
+        configure(query, args)
+        if args.limit is None:
+            query.collect(False)
+        result = query.run()
+    except ValueError as exc:  # SessionError is a ValueError
+        raise SystemExit(f"error: {exc}")
+    mode = "guided" if result.guided else "exhaustive"
+    if result.guided and result.dag is not None:
+        print(f"dag: {result.dag.describe()}")
+    print(f"motifs ({mode}): max size {args.max_size}")
     for pattern, count in sorted(
         result.counts().items(),
         key=lambda kv: (kv[0].num_vertices, -kv[1]),
@@ -232,6 +253,25 @@ def build_parser() -> argparse.ArgumentParser:
     motifs.add_argument("--max-size", type=int, default=3)
     motifs.add_argument("--labeled", action="store_true",
                         help="keep vertex labels (labeled motifs)")
+    motif_strategy = motifs.add_mutually_exclusive_group()
+    motif_strategy.add_argument(
+        "--guided", dest="guided", action="store_true", default=True,
+        help="compile every motif candidate of the size range into ONE "
+             "multi-query plan DAG (shared-prefix exploration, symmetry "
+             "breaking per motif) and answer the whole distribution in "
+             "one guided engine run (default)",
+    )
+    motif_strategy.add_argument(
+        "--exhaustive", dest="guided", action="store_false",
+        help="exploration-agnostic filter-process counting — the oracle "
+             "the guided mode is validated against",
+    )
+    motifs.add_argument(
+        "--limit", type=int, default=None,
+        help="cap on collected outputs (exhaustive only — guided motifs "
+             "aggregate the distribution and reject this loudly, exactly "
+             "like the facade)",
+    )
     motifs.set_defaults(handler=cmd_motifs)
 
     cliques = subparsers.add_parser("cliques", help="enumerate cliques")

@@ -9,6 +9,7 @@ from ..bsp.cost_model import CostModel
 from .storage import ODAG_STORAGE, STORAGE_MODES
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (plan -> core)
+    from ..plan.dag import PlanDAG
     from ..plan.planner import MatchingPlan
 
 #: Execution-backend configuration values (see :mod:`repro.runtime`).
@@ -55,15 +56,18 @@ class ArabesqueConfig:
     #: Incremental canonicality checks (Algorithm 2); False re-checks the
     #: whole word sequence per candidate (ablation bench).
     incremental_canonicality: bool = True
-    #: Guided exploration plan (:func:`repro.plan.compile_plan`).  When
+    #: Guided exploration plan (:func:`repro.plan.compile_plan`) or a
+    #: multi-query plan DAG (:func:`repro.plan.build_plan_dag`).  When
     #: set, worker step tasks generate candidates from the plan's anchors
     #: and validate them against the plan's per-step constraints —
     #: symmetry-breaking restrictions replace the embedding canonicality
-    #: check entirely.  Requires a vertex-exploration computation whose
-    #: user functions understand plan-ordered words (e.g.
-    #: :class:`repro.apps.matching.GuidedMatching`); ``None`` (default)
-    #: keeps the exhaustive extend-everywhere path.
-    plan: "MatchingPlan | None" = None
+    #: check entirely; a DAG advances a whole pattern batch at once,
+    #: sharing prefix exploration.  Requires a vertex-exploration
+    #: computation whose user functions understand plan-ordered words
+    #: (e.g. :class:`repro.apps.matching.GuidedMatching` or the DAG
+    #: computations in :mod:`repro.apps.motifs`/:mod:`repro.apps.fsm`);
+    #: ``None`` (default) keeps the exhaustive extend-everywhere path.
+    plan: "MatchingPlan | PlanDAG | None" = None
     #: Safety bound on exploration steps; exceeded = misbehaving filter.
     max_exploration_steps: int = 100
     #: Keep outputs in memory.  Large runs can set a cap (counts stay exact).
@@ -90,11 +94,13 @@ class ArabesqueConfig:
         if self.backend_processes is not None and self.backend_processes < 1:
             raise ValueError("backend_processes must be >= 1 when given")
         if self.plan is not None:
+            from ..plan.dag import PlanDAG
             from ..plan.planner import MatchingPlan
 
-            if not isinstance(self.plan, MatchingPlan):
+            if not isinstance(self.plan, (MatchingPlan, PlanDAG)):
                 raise ValueError(
-                    "plan must be a repro.plan.MatchingPlan "
+                    "plan must be a repro.plan.MatchingPlan or a "
+                    f"multi-query repro.plan.PlanDAG "
                     f"(got {type(self.plan).__name__})"
                 )
         if self.max_exploration_steps < 1:

@@ -97,8 +97,9 @@ class ArabesqueEngine:
         if self.config.plan is not None:
             if self._mode != VERTEX_EXPLORATION:
                 raise ValueError(
-                    "guided plans drive vertex-based exploration; "
-                    "edge-exploration computations cannot run with config.plan"
+                    "guided plans (and plan DAGs) drive vertex-based "
+                    "exploration; edge-exploration computations cannot "
+                    "run with config.plan"
                 )
             if not computation.plan_compatible:
                 raise ValueError(
@@ -118,12 +119,9 @@ class ArabesqueEngine:
                     "pass the same MatchingPlan to both (the session "
                     "facade and run_guided_fsm wire this up)"
                 )
-        if self.config.plan is not None:
-            # Warm the graph's label index in this (parent) process:
-            # guided step-0 pools draw from it inside every worker, and
-            # the process backend's forks inherit it copy-on-write —
-            # without this each fork would rebuild it with an O(V) scan.
-            graph.vertices_with_label(self.config.plan.steps[0].vertex_label)
+        #: Guided step-0 pool (label index / whitelist / DAG root-pool
+        #: union), computed once per run by :meth:`_plan_pool`.
+        self._plan_universe: tuple[int, ...] | None = None
         self._backend = backend
         #: Expansion of the "undefined" embedding, computed once per engine
         #: (step 0 used to rebuild it per worker; see bench note in
@@ -147,6 +145,30 @@ class ArabesqueEngine:
         if self._universe is None:
             self._universe = tuple(initial_candidates(self.graph, self._mode))
         return self._universe
+
+    def _plan_pool(self) -> tuple[int, ...]:
+        """Guided step-0 candidate pool, computed once per run.
+
+        The single-plan pool is the first step's label index (or
+        whitelist); a DAG's is the sorted-unique union of its root
+        pools.  Computing it here — in the parent process, before any
+        step task runs — both avoids repeating the union merge in every
+        worker and warms the graph's label index so the process
+        backend's forks inherit it copy-on-write.
+        """
+        if self._plan_universe is None:
+            # Imported lazily like the runtime (core.config <- plan).
+            from ..plan.dag import PlanDAG, dag_step_zero_pool
+            from ..plan.guided import step_zero_pool
+
+            plan = self.config.plan
+            pool = (
+                dag_step_zero_pool(plan, self.graph)
+                if isinstance(plan, PlanDAG)
+                else step_zero_pool(plan, self.graph)
+            )
+            self._plan_universe = tuple(pool)
+        return self._plan_universe
 
     def _step_context(
         self,
@@ -176,12 +198,15 @@ class ArabesqueEngine:
             pattern_cache=canonicalizer.cache_snapshot(),
             published_aggregates=agg_channel.published(),
             # Guided runs draw step 0 from the plan's own pool (label
-            # index or domain whitelist), so the universe would be dead
-            # weight there — skip building/shipping it.
+            # index, domain whitelist, or DAG root-pool union) instead of
+            # the exhaustive universe; either way the engine computes the
+            # pool once and ships it through the same channel.
             universe=(
-                self._initial_universe()
-                if step == 0 and config.plan is None
-                else None
+                None
+                if step != 0
+                else self._initial_universe()
+                if config.plan is None
+                else self._plan_pool()
             ),
             global_store=global_store if step > 0 else None,
         )

@@ -6,12 +6,25 @@ label/adjacency constraints plus symmetry-breaking order restrictions —
 and the guided generator executes it inside the runtime's step tasks,
 proposing only candidates that satisfy the next plan step.  See
 :mod:`repro.plan.planner` (compilation), :mod:`repro.plan.symmetry`
-(automorphism restrictions), :mod:`repro.plan.guided` (execution), and
-:mod:`repro.plan.fsm_guide` (per-candidate plans + MNI domain math for
-plan-guided FSM).
+(automorphism restrictions), :mod:`repro.plan.guided` (execution),
+:mod:`repro.plan.dag` (multi-query plan DAGs: one shared-prefix
+exploration for a whole pattern batch), and :mod:`repro.plan.fsm_guide`
+(per-candidate plans + MNI domain math for plan-guided FSM).
 """
 
+from .dag import (
+    DagNode,
+    PlanDAG,
+    accepting_patterns,
+    build_plan_dag,
+    dag_candidates,
+    dag_extension_check,
+    dag_step_zero_pool,
+    dag_survivors,
+    restrict_dag,
+)
 from .fsm_guide import (
+    compile_candidate_dag,
     compile_candidate_plan,
     domain_sets_from_matches,
     label_triples,
@@ -34,12 +47,22 @@ from .symmetry import (
 )
 
 __all__ = [
+    "DagNode",
     "MatchingPlan",
     "NAMED_SHAPES",
+    "PlanDAG",
     "PlanError",
     "PlanStep",
+    "accepting_patterns",
+    "build_plan_dag",
+    "compile_candidate_dag",
     "compile_candidate_plan",
     "compile_plan",
+    "dag_candidates",
+    "dag_extension_check",
+    "dag_step_zero_pool",
+    "dag_survivors",
+    "restrict_dag",
     "domain_sets_from_matches",
     "guided_candidates",
     "guided_extension_check",

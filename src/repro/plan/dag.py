@@ -1,0 +1,691 @@
+"""Multi-query plan DAGs: one shared-prefix exploration for a pattern batch.
+
+A single :class:`~repro.plan.planner.MatchingPlan` answers one pattern per
+engine run, so multi-pattern workloads — the motif distribution, guided
+FSM's per-level candidate sets — re-enumerate the same partial matches
+once per pattern.  A :class:`PlanDAG` compiles a *batch* of patterns into
+one structure instead:
+
+* **prefix-affine orders** — each member pattern is compiled through
+  :func:`repro.plan.planner.compile_plan` with a matching order chosen
+  greedily against a shared trie (:func:`build_plan_dag`): at every step
+  the order search prefers the pattern vertex whose structural step
+  signature (required vertex label + back-edges with edge labels) matches
+  an existing trie child, so sibling patterns agree on their common
+  subpattern's matching order and their plans share trie nodes;
+* **shared trie nodes** — a :class:`DagNode` carries only the structural
+  constraints every pattern routed through it agrees on; per-pattern
+  symmetry restrictions, induced back-non-edges, and per-pattern domain
+  whitelists stay on the member plans, where they are sound per pattern
+  by construction (they are exactly the solo plan's);
+* **set-of-active-nodes execution** — the runtime advances each embedding
+  against the whole batch at once: :func:`dag_survivors` tracks which
+  member patterns still accept the word sequence, candidate pools are
+  generated once per distinct trie node of the surviving patterns and
+  deduplicated (:func:`dag_candidates`), a candidate is kept if *any*
+  survivor accepts it (:func:`dag_extension_check`), and a full-size
+  embedding is emitted once per accepting leaf
+  (:func:`accepting_patterns`).
+
+Correctness is independent of how much sharing the order search finds:
+every member pattern owns a complete plan, and an embedding advances a
+pattern only if it passes that plan's own per-step check — so the DAG run
+explores exactly the union of the per-pattern guided runs, with shared
+prefixes generated (and stored) once instead of once per pattern.
+
+The DAG is immutable, hashable, picklable plain data, accepted everywhere
+a single plan is: ``ArabesqueConfig.plan``, the runtime's
+:class:`~repro.runtime.tasks.StepContext`, and the engine's validation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.pattern import Pattern
+from ..graph import LabeledGraph
+from .guided import guided_extension_check
+from .planner import MatchingPlan, PlanError, compile_plan, restrict_plan
+
+
+@dataclass(frozen=True)
+class DagNode:
+    """One shared trie position: structural constraints only.
+
+    Two member plans share a node exactly when their whole step prefixes
+    agree structurally (same label + back-edge signature at every earlier
+    position).  Per-pattern constraints — symmetry restrictions, induced
+    back-non-edges, domain whitelists — live on the member plans.
+    """
+
+    node_id: int
+    #: Index of this step in the matching order (== prefix length).
+    position: int
+    #: Required vertex label (shared — part of the trie signature).
+    vertex_label: int
+    #: ``(earlier position, required edge label)`` back-edges (shared).
+    back_edges: tuple[tuple[int, int], ...]
+    #: Union of the member whitelists routed through this node (``None``
+    #: when any member is unrestricted here).  Pool pruning only — each
+    #: member plan still enforces its own exact whitelist, so using the
+    #: union never loses a match and never admits one.
+    allowed: frozenset[int] | None = None
+
+
+@dataclass(frozen=True)
+class PlanDAG:
+    """A compiled pattern batch: member plans + their shared-prefix trie.
+
+    ``plans[p]`` is pattern ``p``'s full :class:`MatchingPlan` (compiled
+    with the prefix-affine order); ``paths[p][d]`` is the trie node plan
+    ``p`` occupies at step ``d``.  All member plans share one semantics
+    flag (``induced``), mirroring the single-plan contract.
+    """
+
+    induced: bool
+    plans: tuple[MatchingPlan, ...]
+    nodes: tuple[DagNode, ...]
+    paths: tuple[tuple[int, ...], ...]
+
+    @property
+    def patterns(self) -> tuple[Pattern, ...]:
+        """The batch, in member order."""
+        return tuple(plan.pattern for plan in self.plans)
+
+    @property
+    def num_patterns(self) -> int:
+        return len(self.plans)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def total_plan_steps(self) -> int:
+        """Steps the batch would occupy as independent plans."""
+        return sum(plan.num_steps for plan in self.plans)
+
+    @property
+    def shared_steps(self) -> int:
+        """Plan steps the trie deduplicated away (the sharing win)."""
+        return self.total_plan_steps - self.num_nodes
+
+    @property
+    def max_depth(self) -> int:
+        return max(plan.num_steps for plan in self.plans)
+
+    def describe(self) -> str:
+        """One-line human-readable DAG summary (CLI / benchmarks)."""
+        whitelisted = sum(
+            1
+            for plan in self.plans
+            for step in plan.steps
+            if step.allowed is not None
+        )
+        return (
+            f"patterns={self.num_patterns} nodes={self.num_nodes}"
+            f" (plan steps={self.total_plan_steps},"
+            f" {self.shared_steps} shared)"
+            f" depth<={self.max_depth}"
+            f" whitelisted-steps={whitelisted}"
+            f" semantics={'induced' if self.induced else 'monomorphic'}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Compilation: prefix-affine order search over a shared trie
+# ----------------------------------------------------------------------
+def _step_signature(
+    pattern: Pattern,
+    adjacency: dict[int, dict[int, int]],
+    position_of: dict[int, int],
+    vertex: int,
+) -> tuple[int, tuple[tuple[int, int], ...]]:
+    """Structural signature of placing ``vertex`` after the placed prefix.
+
+    Only the shared constraints enter the signature: the vertex label and
+    the (position, edge label) back-edges.  Induced back-non-edges and
+    symmetry restrictions are deliberately excluded — they differ between
+    patterns that can still share candidate pools, and each member plan
+    enforces its own.
+    """
+    back_edges = tuple(
+        sorted(
+            (position_of[other], label)
+            for other, label in adjacency[vertex].items()
+            if other in position_of
+        )
+    )
+    return (pattern.vertex_labels[vertex], back_edges)
+
+
+def build_plan_dag(
+    patterns: Sequence[Pattern], induced: bool = True
+) -> PlanDAG:
+    """Compile a batch of patterns into one prefix-sharing :class:`PlanDAG`.
+
+    Patterns are inserted into the trie in batch order; each one's
+    matching order is chosen greedily — at every step, prefer a frontier
+    vertex whose structural signature matches an existing child of the
+    current trie node (so shared subpatterns align), falling back to the
+    single-plan connectivity heuristic (most placed neighbors, then
+    degree, then smaller id) when nothing matches.  Raises
+    :class:`PlanError` for an empty batch, duplicate patterns, or any
+    empty/disconnected member.
+    """
+    batch = tuple(patterns)
+    if not batch:
+        raise PlanError("pattern batch must not be empty")
+    if len(set(batch)) != len(batch):
+        raise PlanError("pattern batch contains duplicate patterns")
+
+    #: Child tables: root_children for position 0, node_children[i] for
+    #: the children of node i.  node_info[i] = (position, signature).
+    root_children: dict[tuple, int] = {}
+    node_children: list[dict[tuple, int]] = []
+    node_info: list[tuple[int, tuple]] = []
+
+    def child_of(parent: int | None, signature: tuple, position: int) -> int:
+        table = root_children if parent is None else node_children[parent]
+        node_id = table.get(signature)
+        if node_id is None:
+            node_id = len(node_info)
+            node_info.append((position, signature))
+            node_children.append({})
+            table[signature] = node_id
+        return node_id
+
+    orders: list[tuple[int, ...]] = []
+    paths: list[tuple[int, ...]] = []
+    for pattern in batch:
+        if pattern.num_vertices == 0:
+            raise PlanError("query pattern must not be empty")
+        if not pattern.is_connected():
+            raise PlanError("query pattern must be connected")
+        adjacency: dict[int, dict[int, int]] = {
+            v: {} for v in range(pattern.num_vertices)
+        }
+        for u, v, label in pattern.edges:
+            adjacency[u][v] = label
+            adjacency[v][u] = label
+        degree = {v: len(adjacency[v]) for v in range(pattern.num_vertices)}
+        position_of: dict[int, int] = {}
+        order: list[int] = []
+        path: list[int] = []
+        parent: int | None = None
+        while len(order) < pattern.num_vertices:
+            if order:
+                frontier = [
+                    v
+                    for v in range(pattern.num_vertices)
+                    if v not in position_of and position_of.keys() & adjacency[v].keys()
+                ]
+            else:
+                frontier = list(range(pattern.num_vertices))
+            ranked = sorted(
+                frontier,
+                key=lambda v: (
+                    len(position_of.keys() & adjacency[v].keys()),
+                    degree[v],
+                    -v,
+                ),
+                reverse=True,
+            )
+            table = root_children if parent is None else node_children[parent]
+            chosen = next(
+                (
+                    v
+                    for v in ranked
+                    if _step_signature(pattern, adjacency, position_of, v)
+                    in table
+                ),
+                ranked[0],
+            )
+            signature = _step_signature(pattern, adjacency, position_of, chosen)
+            parent = child_of(parent, signature, len(order))
+            path.append(parent)
+            position_of[chosen] = len(order)
+            order.append(chosen)
+        orders.append(tuple(order))
+        paths.append(tuple(path))
+
+    plans = tuple(
+        compile_plan(pattern, induced=induced, order=order)
+        for pattern, order in zip(batch, orders)
+    )
+    nodes = tuple(
+        DagNode(
+            node_id=node_id,
+            position=position,
+            vertex_label=signature[0],
+            back_edges=signature[1],
+        )
+        for node_id, (position, signature) in enumerate(node_info)
+    )
+    return _with_node_whitelists(
+        PlanDAG(induced=induced, plans=plans, nodes=nodes, paths=tuple(paths))
+    )
+
+
+_UNSET = object()
+
+
+def _with_node_whitelists(dag: PlanDAG) -> PlanDAG:
+    """Recompute each node's pool whitelist as the member-whitelist union.
+
+    ``None`` (unrestricted) wins as soon as any member routed through the
+    node has no whitelist at that step — the pool must cover every
+    member's candidates.
+    """
+    unions: list = [_UNSET] * len(dag.nodes)
+    for plan, path in zip(dag.plans, dag.paths):
+        for depth, node_id in enumerate(path):
+            allowed = plan.steps[depth].allowed
+            current = unions[node_id]
+            if current is _UNSET:
+                unions[node_id] = allowed
+            elif current is None or allowed is None:
+                unions[node_id] = None
+            else:
+                unions[node_id] = current | allowed
+    nodes = tuple(
+        dataclasses.replace(
+            node, allowed=None if unions[i] is _UNSET else unions[i]
+        )
+        for i, node in enumerate(dag.nodes)
+    )
+    return dataclasses.replace(dag, nodes=nodes)
+
+
+def restrict_dag(
+    dag: PlanDAG,
+    allowed_by_pattern: dict[Pattern, dict[int, frozenset[int]]],
+) -> PlanDAG:
+    """A copy of ``dag`` with per-pattern vertex whitelists overlaid.
+
+    ``allowed_by_pattern`` maps member patterns to the per-pattern-vertex
+    whitelists :func:`repro.plan.planner.restrict_plan` takes; members
+    absent from the dict run unrestricted.  The trie structure, matching
+    orders, and symmetry restrictions are reused unchanged (no
+    recompilation — the point of caching DAGs by pattern batch); node
+    pool whitelists are recomputed as the member unions.  Soundness is
+    the caller's contract, exactly as for ``restrict_plan``.
+    """
+    plans = tuple(
+        restrict_plan(plan, allowed_by_pattern.get(plan.pattern, {}))
+        for plan in dag.plans
+    )
+    return _with_node_whitelists(dataclasses.replace(dag, plans=plans))
+
+
+# ----------------------------------------------------------------------
+# Execution: advance the set of active nodes / surviving patterns
+# ----------------------------------------------------------------------
+def dag_survivors(
+    dag: PlanDAG, graph: LabeledGraph, words: tuple[int, ...]
+) -> list[int]:
+    """Member patterns (by index) whose plan accepts ``words`` as a prefix.
+
+    A pattern survives depth ``d`` iff its plan has a step there and that
+    step's full check (label, back-edges, induced non-edges, symmetry
+    restrictions, whitelist) accepts ``words[d]`` — i.e. exactly the
+    per-pattern guided acceptance, applied batch-wide.  Patterns whose
+    plan length equals ``len(words)`` and survived every step are full
+    matches (see :func:`accepting_patterns`).
+    """
+    survivors = list(range(len(dag.plans)))
+    for depth in range(len(words)):
+        if not survivors:
+            break
+        prefix = words[:depth]
+        word = words[depth]
+        survivors = [
+            p
+            for p in survivors
+            if dag.plans[p].num_steps > depth
+            and guided_extension_check(dag.plans[p], graph, prefix, word)
+        ]
+    return survivors
+
+
+def accepting_patterns(
+    dag: PlanDAG, graph: LabeledGraph, words: tuple[int, ...]
+) -> tuple[int, ...]:
+    """Member indices whose plan accepts ``words`` as a *full* match.
+
+    An embedding is emitted once per accepting leaf: each index here is
+    one leaf whose whole root-to-leaf constraint chain ``words``
+    satisfies.  Under monomorphic semantics several leaves can accept the
+    same words (extra graph edges belong to a denser sibling's edge set
+    too); under induced semantics back-non-edges make the leaf unique.
+    """
+    size = len(words)
+    return tuple(
+        p
+        for p in dag_survivors(dag, graph, words)
+        if dag.plans[p].num_steps == size
+    )
+
+
+def dag_extendable(
+    dag: PlanDAG, graph: LabeledGraph, words: tuple[int, ...]
+) -> bool:
+    """Whether any surviving member still has plan steps beyond ``words``.
+
+    The DAG computations' termination filter: embeddings that are a leaf
+    for every surviving pattern must not be stored for the next step (they
+    would only generate empty candidate pools).
+    """
+    size = len(words)
+    return any(
+        dag.plans[p].num_steps > size
+        for p in dag_survivors(dag, graph, words)
+    )
+
+
+def dag_step_zero_pool(
+    dag: PlanDAG, graph: LabeledGraph
+) -> Sequence[int]:
+    """The DAG's step-0 candidate pool: the union of its root pools.
+
+    One pool per distinct root node (whitelist when every member routed
+    through it is whitelisted, else the node label's index — mirroring
+    :func:`repro.plan.guided.step_zero_pool`), merged sorted-unique so
+    every worker partitions the identical sequence and shared roots are
+    scanned once instead of once per pattern.
+    """
+    pools = []
+    for node_id in sorted({path[0] for path in dag.paths}):
+        node = dag.nodes[node_id]
+        if node.allowed is not None:
+            pools.append(tuple(sorted(node.allowed)))
+            continue
+        pool = graph.vertices_with_label(node.vertex_label)
+        if len(pool) == graph.num_vertices:
+            pool = graph.vertices()
+        pools.append(pool)
+    if len(pools) == 1:
+        return pools[0]
+    merged: set[int] = set()
+    for pool in pools:
+        merged.update(pool)
+    return tuple(sorted(merged))
+
+
+def _pool_for_nodes(
+    dag: PlanDAG,
+    graph: LabeledGraph,
+    words: tuple[int, ...],
+    live_nodes: Sequence[int],
+) -> Sequence[int]:
+    """Merged sorted-unique candidate pool of the given trie nodes."""
+    if not live_nodes:
+        return ()
+    pools = []
+    for node_id in live_nodes:
+        node = dag.nodes[node_id]
+        if not node.back_edges:
+            # A node without back-neighbors is a root; connected-prefix
+            # order validation keeps roots out of positions >= 1, so a
+            # violated invariant must fail loudly rather than quietly
+            # degrade into an inflated pool.
+            assert not words, "back-edge-less DAG node reached mid-plan"
+            pools.append(dag_step_zero_pool(dag, graph))
+            continue
+        anchor = min(
+            (words[earlier] for earlier, _ in node.back_edges),
+            key=lambda vertex: (graph.degree(vertex), vertex),
+        )
+        neighbors = graph.neighbors(anchor)
+        if node.allowed is None:
+            pools.append(neighbors)
+        else:
+            allowed = node.allowed
+            pools.append(tuple(word for word in neighbors if word in allowed))
+    if len(pools) == 1:
+        return pools[0]
+    merged: set[int] = set()
+    for pool in pools:
+        merged.update(pool)
+    return tuple(sorted(merged))
+
+
+def dag_candidates(
+    dag: PlanDAG, graph: LabeledGraph, words: tuple[int, ...]
+) -> Sequence[int]:
+    """Candidate pool for extending ``words`` by one step, batch-wide.
+
+    One anchor neighborhood per distinct trie node the surviving patterns
+    occupy next (each pre-filtered by the node's union whitelist), merged
+    sorted-unique — the sharing win: a candidate proposed by several
+    sibling patterns is generated (and counted) once.  Completeness per
+    pattern is the single-plan argument, applied per node.
+    """
+    position = len(words)
+    live_nodes = sorted(
+        {
+            dag.paths[p][position]
+            for p in dag_survivors(dag, graph, words)
+            if dag.plans[p].num_steps > position
+        }
+    )
+    return _pool_for_nodes(dag, graph, words, live_nodes)
+
+
+def dag_extension_check(
+    dag: PlanDAG,
+    graph: LabeledGraph,
+    parent_words: tuple[int, ...],
+    word: int,
+) -> bool:
+    """Whether ``parent_words + (word,)`` advances at least one pattern.
+
+    The DAG counterpart of the single plan's per-step check: a candidate
+    is kept (and the extended embedding stored once) iff some member
+    surviving the parent prefix accepts it at the next step.  Like the
+    single-plan check it is anti-monotone — survivors only shrink — so
+    ODAG extraction can apply it prefix by prefix.
+    """
+    position = len(parent_words)
+    for p in dag_survivors(dag, graph, parent_words):
+        plan = dag.plans[p]
+        if plan.num_steps > position and guided_extension_check(
+            plan, graph, parent_words, word
+        ):
+            return True
+    return False
+
+
+def bound_stepper(computation, dag: PlanDAG, graph: LabeledGraph) -> "DagStepper":
+    """Lazily attach a per-task :class:`DagStepper` to a computation copy.
+
+    The runtime shallow-copies each computation per worker task before
+    binding its context, and the engine's template instance never runs
+    user functions — so a stepper created inside ``process``/
+    ``termination_filter`` lands on the task's private copy, is never
+    shared between concurrent tasks, and is never pickled (the template
+    ships clean).  Re-created if the graph or DAG changes (defensive;
+    one task sees one of each).
+    """
+    stepper = getattr(computation, "_dag_stepper", None)
+    if stepper is None or stepper.graph is not graph or stepper.dag is not dag:
+        stepper = DagStepper(dag, graph)
+        computation._dag_stepper = stepper
+    return stepper
+
+
+def _node_structural_ok(
+    node: DagNode,
+    graph: LabeledGraph,
+    parent_words: tuple[int, ...],
+    word: int,
+) -> bool:
+    """The member-independent half of one step check, shared per node.
+
+    Covers exactly the constraints every member routed through the node
+    agrees on — required label, injectivity, back-edge adjacency with
+    edge labels — mirroring the corresponding clauses of
+    :func:`repro.plan.guided.guided_extension_check`.
+    """
+    if graph.vertex_label(word) != node.vertex_label:
+        return False
+    if word in parent_words:
+        return False
+    for earlier, edge_label in node.back_edges:
+        matched = parent_words[earlier]
+        if not graph.adjacent(word, matched):
+            return False
+        if graph.edge_label(graph.edge_id(word, matched)) != edge_label:
+            return False
+    return True
+
+
+def _member_residual_ok(
+    plan: MatchingPlan,
+    depth: int,
+    graph: LabeledGraph,
+    parent_words: tuple[int, ...],
+    word: int,
+) -> bool:
+    """The per-member half: whitelist, induced non-edges, restrictions."""
+    step = plan.steps[depth]
+    if step.allowed is not None and word not in step.allowed:
+        return False
+    if plan.induced:
+        for earlier in step.back_non_edges:
+            if graph.adjacent(word, parent_words[earlier]):
+                return False
+    for earlier in step.must_exceed:
+        if parent_words[earlier] >= word:
+            return False
+    for earlier in step.must_precede:
+        if parent_words[earlier] <= word:
+            return False
+    return True
+
+
+class DagStepper:
+    """Per-task DAG execution helper with memoized survivor walks.
+
+    The naive functions above re-walk the trie from the root on every
+    call, which turns the per-candidate acceptance check into an
+    O(depth × patterns) rescan of its parent prefix.  A stepper caches
+    ``survivors(prefix)`` per word tuple and derives each entry
+    incrementally from its parent's — grouping the surviving members by
+    their next trie node so the structural half of the step check
+    (label, injectivity, back-edges) runs once per *node* and only the
+    per-member residual (whitelist, induced non-edges, symmetry
+    restrictions) runs per member.  Checking a whole candidate pool
+    against one embedding then costs one cached lookup plus per-node
+    structural checks — close to the single-plan work profile.
+
+    One stepper is created per worker step task (and lazily per task
+    copy of the DAG computations), never shared between threads or
+    processes, so the cache is private mutable state of a pure task:
+    results are a deterministic function of ``(dag, graph, words)``
+    with or without it.  The cache is cleared past a bound to keep
+    memory proportional to the working set, not the store.
+    """
+
+    __slots__ = ("dag", "graph", "_cache")
+
+    #: Cache-entry bound; on overflow the cache resets to the root entry.
+    CACHE_LIMIT = 8192
+
+    def __init__(self, dag: PlanDAG, graph: LabeledGraph) -> None:
+        self.dag = dag
+        self.graph = graph
+        self._cache: dict[tuple[int, ...], list[int]] = {
+            (): list(range(len(dag.plans)))
+        }
+
+    def _advance(
+        self, parent_survivors: list[int], prefix: tuple[int, ...], word: int
+    ) -> list[int]:
+        """Members of ``parent_survivors`` that also accept ``word``."""
+        depth = len(prefix)
+        dag = self.dag
+        graph = self.graph
+        plans = dag.plans
+        paths = dag.paths
+        by_node: dict[int, list[int]] = {}
+        for p in parent_survivors:
+            if plans[p].num_steps > depth:
+                by_node.setdefault(paths[p][depth], []).append(p)
+        result: list[int] = []
+        for node_id, members in by_node.items():
+            if not _node_structural_ok(dag.nodes[node_id], graph, prefix, word):
+                continue
+            for p in members:
+                if _member_residual_ok(plans[p], depth, graph, prefix, word):
+                    result.append(p)
+        result.sort()
+        return result
+
+    def survivors(self, words: tuple[int, ...]) -> list[int]:
+        """Memoized :func:`dag_survivors` (derived from the parent's)."""
+        cache = self._cache
+        hit = cache.get(words)
+        if hit is not None:
+            return hit
+        depth = len(words) - 1
+        prefix = words[:depth]
+        result = self._advance(self.survivors(prefix), prefix, words[depth])
+        if len(cache) > self.CACHE_LIMIT:
+            cache.clear()
+            cache[()] = list(range(len(self.dag.plans)))
+        cache[words] = result
+        return result
+
+    def candidates(self, words: tuple[int, ...]) -> Sequence[int]:
+        """Memoized-walk :func:`dag_candidates` (the generate hook)."""
+        dag = self.dag
+        position = len(words)
+        live_nodes = sorted(
+            {
+                dag.paths[p][position]
+                for p in self.survivors(words)
+                if dag.plans[p].num_steps > position
+            }
+        )
+        return _pool_for_nodes(dag, self.graph, words, live_nodes)
+
+    def check(
+        self, graph: LabeledGraph, parent_words: tuple[int, ...], word: int
+    ) -> bool:
+        """Memoized-walk :func:`dag_extension_check` (the checker hook)."""
+        depth = len(parent_words)
+        dag = self.dag
+        plans = dag.plans
+        paths = dag.paths
+        by_node: dict[int, list[int]] = {}
+        for p in self.survivors(parent_words):
+            if plans[p].num_steps > depth:
+                by_node.setdefault(paths[p][depth], []).append(p)
+        for node_id, members in by_node.items():
+            if not _node_structural_ok(
+                dag.nodes[node_id], graph, parent_words, word
+            ):
+                continue
+            for p in members:
+                if _member_residual_ok(
+                    plans[p], depth, graph, parent_words, word
+                ):
+                    return True
+        return False
+
+    def accepting(self, words: tuple[int, ...]) -> list[int]:
+        """Memoized-walk :func:`accepting_patterns` (emission hook)."""
+        size = len(words)
+        plans = self.dag.plans
+        return [
+            p for p in self.survivors(words) if plans[p].num_steps == size
+        ]
+
+    def extendable(self, words: tuple[int, ...]) -> bool:
+        """Memoized-walk :func:`dag_extendable` (termination hook)."""
+        size = len(words)
+        plans = self.dag.plans
+        return any(plans[p].num_steps > size for p in self.survivors(words))

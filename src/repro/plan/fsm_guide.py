@@ -40,12 +40,15 @@ from typing import Callable, Iterable, Sequence
 
 from ..core.pattern import Pattern
 from ..graph import LabeledGraph
+from .dag import PlanDAG, build_plan_dag
 from .guided import match_mapping
 from .planner import MatchingPlan, PlanError, compile_plan
 
-#: A plan source for canonical candidate patterns.  The default compiles
-#: fresh (with a per-run memo); a session passes its cross-query cache.
-PlanProvider = Callable[[Pattern], MatchingPlan]
+#: A plan-DAG source for a whole level's candidate batch (canonical
+#: patterns, deterministic order).  The default compiles fresh with a
+#: per-run memo; a session passes its cross-query DAG cache so repeated
+#: runs recompile nothing.
+DagProvider = Callable[[tuple[Pattern, ...]], PlanDAG]
 
 
 def compile_candidate_plan(pattern: Pattern) -> MatchingPlan:
@@ -63,16 +66,32 @@ def compile_candidate_plan(pattern: Pattern) -> MatchingPlan:
     return compile_plan(pattern, induced=False)
 
 
-def default_plan_provider() -> PlanProvider:
-    """A memoizing :data:`PlanProvider` for one driver run (no session)."""
-    memo: dict[Pattern, MatchingPlan] = {}
+def compile_candidate_dag(patterns: tuple[Pattern, ...]) -> PlanDAG:
+    """Compile one FSM level's candidate batch into a shared-prefix DAG.
 
-    def provide(pattern: Pattern) -> MatchingPlan:
-        plan = memo.get(pattern)
-        if plan is None:
-            plan = compile_candidate_plan(pattern)
-            memo[pattern] = plan
-        return plan
+    Every member must be canonical (candidates from this module always
+    are — DAG caches key by the canonical batch); the DAG uses
+    monomorphic semantics, matching edge-based FSM embedding semantics.
+    """
+    for pattern in patterns:
+        if not pattern.is_canonical():
+            raise PlanError(
+                "FSM candidate DAGs are cached by canonical pattern batch; "
+                "canonicalize the candidates before compiling"
+            )
+    return build_plan_dag(patterns, induced=False)
+
+
+def default_dag_provider() -> DagProvider:
+    """A memoizing :data:`DagProvider` for one driver run (no session)."""
+    memo: dict[tuple[Pattern, ...], PlanDAG] = {}
+
+    def provide(patterns: tuple[Pattern, ...]) -> PlanDAG:
+        dag = memo.get(patterns)
+        if dag is None:
+            dag = compile_candidate_dag(patterns)
+            memo[patterns] = dag
+        return dag
 
     return provide
 

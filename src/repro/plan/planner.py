@@ -92,9 +92,15 @@ class MatchingPlan:
         """One-line human-readable plan summary (CLI / benchmarks)."""
         order = ",".join(map(str, self.order))
         rules = " ".join(f"m({u})<m({v})" for u, v in self.restrictions)
+        sizes = ",".join(
+            f"{step.position}:{len(step.allowed)}"
+            for step in self.steps
+            if step.allowed is not None
+        )
         return (
             f"order=[{order}] |Aut|={self.num_automorphisms}"
             f" restrictions=[{rules or 'none'}]"
+            f" whitelists=[{sizes or 'none'}]"
             f" semantics={'induced' if self.induced else 'monomorphic'}"
         )
 
@@ -129,13 +135,52 @@ def _matching_order(pattern: Pattern) -> tuple[int, ...]:
     return tuple(order)
 
 
-def compile_plan(pattern: Pattern, induced: bool = True) -> MatchingPlan:
+def _validated_order(pattern: Pattern, order: tuple[int, ...]) -> tuple[int, ...]:
+    """Check a caller-supplied matching order (prefix-affine DAG mode).
+
+    The order must be a permutation of the pattern vertices in which every
+    vertex after the first is adjacent to an earlier one — the same
+    connected-prefix invariant :func:`_matching_order` guarantees, without
+    which the anchor-based candidate generator would be incomplete.
+    """
+    order = tuple(order)
+    if sorted(order) != list(range(pattern.num_vertices)):
+        raise PlanError(
+            f"matching order {order!r} is not a permutation of the "
+            f"{pattern.num_vertices} pattern vertices"
+        )
+    adjacency: dict[int, set[int]] = {v: set() for v in range(pattern.num_vertices)}
+    for u, v, _ in pattern.edges:
+        adjacency[u].add(v)
+        adjacency[v].add(u)
+    placed: set[int] = set()
+    for position, vertex in enumerate(order):
+        if position and not (adjacency[vertex] & placed):
+            raise PlanError(
+                f"matching order {order!r} places vertex {vertex} with no "
+                "already-placed neighbor — every step after the first must "
+                "extend the connected prefix"
+            )
+        placed.add(vertex)
+    return order
+
+
+def compile_plan(
+    pattern: Pattern,
+    induced: bool = True,
+    *,
+    order: tuple[int, ...] | None = None,
+) -> MatchingPlan:
     """Compile ``pattern`` into a :class:`MatchingPlan`.
 
     ``induced=True`` plans for vertex-induced occurrences (back-non-edges
     are enforced), ``False`` for monomorphisms (extra graph edges between
-    matched vertices are allowed).  Raises :class:`PlanError` for empty or
-    disconnected patterns.
+    matched vertices are allowed).  ``order`` overrides the connectivity
+    heuristic with an explicit matching order (validated: a permutation
+    with connected prefixes) — the prefix-affine mode multi-query DAG
+    compilation uses so sibling patterns agree on their common
+    subpattern's order (:mod:`repro.plan.dag`).  Raises
+    :class:`PlanError` for empty or disconnected patterns.
     """
     if pattern.num_vertices == 0:
         raise PlanError("query pattern must not be empty")
@@ -143,7 +188,10 @@ def compile_plan(pattern: Pattern, induced: bool = True) -> MatchingPlan:
         # Same wording as GraphMatching's validation — one user error,
         # one message, whichever mode hits it first.
         raise PlanError("query pattern must be connected")
-    order = _matching_order(pattern)
+    if order is None:
+        order = _matching_order(pattern)
+    else:
+        order = _validated_order(pattern, order)
     position_of = {vertex: i for i, vertex in enumerate(order)}
     edge_labels = pattern.edge_dict()
     restrictions, num_automorphisms = symmetry_breaking_restrictions(pattern)

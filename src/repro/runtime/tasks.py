@@ -28,9 +28,16 @@ neighborhoods (:func:`repro.plan.guided.guided_candidates`) instead of the
 whole frontier, and the per-candidate acceptance test is the plan's
 label/adjacency/symmetry check instead of Algorithm 2 — the plan's
 ordering restrictions already guarantee each occurrence is generated
-exactly once, so no canonicality check is needed.  Everything else
-(stores, aggregation, deltas, backends) is unchanged, which is what keeps
-guided runs byte-identical across backends and worker counts too.
+exactly once, so no canonicality check is needed.  A multi-query
+:class:`~repro.plan.PlanDAG` generalizes the same two pieces from one
+step to a *set of active DAG nodes* per embedding: the pool is the
+deduplicated union of the surviving patterns' next anchor neighborhoods
+(:func:`repro.plan.dag.dag_candidates`), a candidate is kept when any
+surviving member plan accepts it, and the extended embedding is stored
+once no matter how many patterns it advances — emission happens once per
+accepting leaf inside the computation.  Everything else (stores,
+aggregation, deltas, backends) is unchanged, which is what keeps guided
+runs byte-identical across backends and worker counts too.
 """
 
 from __future__ import annotations
@@ -48,11 +55,11 @@ from ..core.extension import extensions
 from ..core.pattern import Pattern, PatternCanonicalizer
 from ..core.results import StepStats, WorkerDelta
 from ..core.storage import EmbeddingStore, LIST_STORAGE, ListStore, OdagStore
+from ..plan.dag import PlanDAG, bound_stepper
 from ..plan.guided import (
     guided_candidates,
     guided_extension_check,
     plan_checker,
-    step_zero_pool,
 )
 from ..plan.planner import MatchingPlan
 
@@ -80,15 +87,19 @@ class StepContext:
     collect_outputs: bool
     output_limit: int | None
     two_level_aggregation: bool
-    #: Guided exploration plan; ``None`` selects the exhaustive path.
-    plan: MatchingPlan | None = None
+    #: Guided exploration plan — a single :class:`MatchingPlan` or a
+    #: multi-query :class:`PlanDAG`; ``None`` selects the exhaustive path.
+    plan: MatchingPlan | PlanDAG | None = None
     #: Master quick-pattern -> (canonical, mapping) cache snapshot.
     pattern_cache: dict[Pattern, tuple[Pattern, tuple[int, ...]]] = field(
         default_factory=dict
     )
     #: Previous step's published aggregates (``readAggregate`` source).
     published_aggregates: dict[Hashable, Any] = field(default_factory=dict)
-    #: Step 0 only: the cached expansion of the "undefined" embedding.
+    #: Step 0 only: the step-0 candidate pool, computed once by the
+    #: engine — the expansion of the "undefined" embedding (exhaustive),
+    #: or the plan's own pool (label index / whitelist / DAG root-pool
+    #: union) on guided runs.
     universe: tuple[int, ...] | None = None
     #: Steps >= 1: the merged global store of the previous step (set I).
     global_store: EmbeddingStore | None = None
@@ -146,7 +157,9 @@ def _make_extension_checker(mode: str, incremental: bool, plan=None):
 
     Exhaustive mode uses the canonicality check (Algorithm 2); guided mode
     uses the plan's per-step constraint check, whose symmetry restrictions
-    subsume canonicality's dedup role.
+    subsume canonicality's dedup role.  Multi-query DAGs never reach this
+    helper — the expansion pass builds a per-task :class:`DagStepper`
+    whose check accepts a candidate when any surviving member plan does.
     """
     if plan is not None:
         return plan_checker(plan)
@@ -230,16 +243,23 @@ def _initial_pass(
     stats = delta.counters
     phase_seconds = delta.phase_seconds
     plan = context.plan
-    if plan is not None:
-        # Guided runs draw step 0 from the plan's pool — the label index
-        # for the first step's required label, or the step's whitelist
-        # when parent domains were pushed down (guided FSM).  The pool is
-        # sorted and identical for every worker, so the rank-range
-        # partition stays deterministic exactly like the universe's.
-        universe = step_zero_pool(plan, graph)
+    # Guided runs draw step 0 from the plan's own pool (label index,
+    # whitelist, or DAG root-pool union); the engine computes it once per
+    # run and ships it through the universe channel, sorted and identical
+    # for every worker, so the rank-range partition stays deterministic.
+    universe = context.universe
+    assert universe is not None, "step-0 context must carry the universe"
+    if isinstance(plan, PlanDAG):
+        # Shared with the computation's own hooks (same task copy):
+        # step-0 checks group by distinct root node instead of scanning
+        # every member per word.
+        stepper = bound_stepper(computation, plan, graph)
+
+        def check_word(plan, graph, parent_words, word):
+            return stepper.check(graph, parent_words, word)
+
     else:
-        universe = context.universe
-        assert universe is not None, "step-0 context must carry the universe"
+        check_word = guided_extension_check
     total = len(universe)
     num_workers = context.num_workers
     start = total * worker_id // num_workers
@@ -248,7 +268,7 @@ def _initial_pass(
     for index in range(start, end):
         word = universe[index]
         stats.candidates_generated += 1
-        if plan is not None and not guided_extension_check(plan, graph, (), word):
+        if plan is not None and not check_word(plan, graph, (), word):
             continue
         stats.canonical_candidates += 1  # single words are canonical
         work += 1
@@ -285,15 +305,25 @@ def _expansion_pass(
     graph = context.graph
     mode = context.mode
     plan = context.plan
-    check_extension = _make_extension_checker(
-        mode, context.incremental_canonicality, plan
-    )
-    if plan is None:
-        def generate(words: tuple[int, ...]):
-            return extensions(graph, mode, words)
+    if isinstance(plan, PlanDAG):
+        # One stepper per task, shared with the computation's own hooks
+        # (process/termination run on the same task copy): its
+        # survivor-walk memo is private to this pure task, so checking a
+        # whole candidate pool costs one cached prefix walk plus
+        # per-candidate final-step checks.
+        stepper = bound_stepper(computation, plan, graph)
+        check_extension = stepper.check
+        generate = stepper.candidates
     else:
-        def generate(words: tuple[int, ...]):
-            return guided_candidates(plan, graph, words)
+        check_extension = _make_extension_checker(
+            mode, context.incremental_canonicality, plan
+        )
+        if plan is None:
+            def generate(words: tuple[int, ...]):
+                return extensions(graph, mode, words)
+        else:
+            def generate(words: tuple[int, ...]):
+                return guided_candidates(plan, graph, words)
     profile = context.profile_phases
     verify_pattern = context.storage != LIST_STORAGE
     stats = delta.counters

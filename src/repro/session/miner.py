@@ -21,13 +21,17 @@ per-graph rather than per-query, so repeated queries skip re-setup:
 * the **label-stripped graph variant**, built once for the first
   ``.unlabeled()`` query;
 * **compiled matching plans**, keyed by ``(canonical pattern, induced)``
-  so re-matching a pattern never recompiles it — guided FSM routes every
-  candidate-pattern compilation through the same cache, so repeated
-  ``.fsm()`` runs recompile nothing.
+  so re-matching a pattern never recompiles it;
+* **compiled multi-query plan DAGs**, keyed by ``(canonical pattern
+  batch, induced)`` — guided motifs compile one DAG per (graph variant,
+  size range) and guided FSM one per level batch, so repeated
+  ``.motifs()``/``.fsm()`` runs recompile nothing (FSM's per-run domain
+  whitelists are overlaid on the cached structure without recompiling
+  orders or symmetry).
 
 :meth:`Miner.cache_info` exposes hit/build counters; the test suite
-asserts that a reused session demonstrably skips plan recompilation and
-step-0 re-setup.
+asserts that a reused session demonstrably skips plan and DAG
+recompilation and step-0 re-setup.
 """
 
 from __future__ import annotations
@@ -42,6 +46,7 @@ from ..core.pattern import Pattern
 from ..core.results import RunResult
 from ..graph import LabeledGraph
 from ..graph.generators import strip_labels
+from ..plan.dag import PlanDAG, build_plan_dag
 from ..plan.planner import MatchingPlan, compile_plan
 
 from .query import (
@@ -70,6 +75,11 @@ class SessionCacheInfo:
     plan_compilations: int = 0
     #: Plan lookups served from the session cache.
     plan_hits: int = 0
+    #: Multi-query plan DAGs compiled (one per distinct canonical
+    #: pattern batch + semantics: a motif size range, an FSM level).
+    dag_compilations: int = 0
+    #: DAG lookups served from the session cache.
+    dag_hits: int = 0
     #: Label-stripped graph variants built (0 or 1).
     strip_builds: int = 0
 
@@ -94,6 +104,7 @@ class Miner:
         self._unlabeled: LabeledGraph | None = None
         self._universes: dict[str, tuple[int, ...]] = {}
         self._plans: dict[tuple[Pattern, bool], MatchingPlan] = {}
+        self._dags: dict[tuple[tuple[Pattern, ...], bool], PlanDAG] = {}
         self._info = SessionCacheInfo()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging nicety
@@ -105,7 +116,12 @@ class Miner:
     def motifs(self, max_size: int = 3, *, min_size: int = 3) -> MotifQuery:
         """Motif frequency distribution up to ``max_size`` vertices.
 
-        Chain ``.unlabeled()`` for classic (structure-only) motifs on a
+        DAG-guided execution is the default: every canonical motif
+        candidate of the size range is compiled into one prefix-sharing
+        multi-query plan DAG (cached on this session) and the whole
+        distribution is answered in one guided engine run.  Chain
+        ``.exhaustive()`` for the exploration-agnostic oracle, and
+        ``.unlabeled()`` for classic (structure-only) motifs on a
         labeled graph.
         """
         return MotifQuery(self, max_size, min_size=min_size)
@@ -126,10 +142,12 @@ class Miner:
     def fsm(self, support: int, *, max_edges: int | None = None) -> FSMQuery:
         """Frequent subgraph mining with MNI support threshold ``support``.
 
-        Plan-guided execution is the default (per-candidate compiled
-        plans, cached on this session; MNI domains accumulated from
-        guided matches); chain ``.exhaustive()`` for the single-run
-        edge-exploration oracle.
+        Plan-guided execution is the default: each level's surviving
+        candidates are batched into one multi-query plan DAG (cached on
+        this session by canonical batch) and evaluated in a single
+        guided engine run per level, with MNI domains demuxed per leaf;
+        chain ``.exhaustive()`` for the single-run edge-exploration
+        oracle.
         """
         return FSMQuery(self, support, max_edges=max_edges)
 
@@ -175,6 +193,27 @@ class Miner:
             self._info.plan_hits += 1
         return plan
 
+    def _dag_for(
+        self, patterns: tuple[Pattern, ...], induced: bool
+    ) -> PlanDAG:
+        """Compile (or fetch) the multi-query DAG for a canonical batch.
+
+        Keys on the exact batch tuple + semantics: guided motifs reuse
+        one DAG per (graph variant, size range) across repeated runs,
+        and guided FSM one per level batch — per-run domain whitelists
+        are overlaid by the caller (:func:`repro.plan.dag.restrict_dag`)
+        without touching the cached structure.
+        """
+        key = (tuple(patterns), induced)
+        dag = self._dags.get(key)
+        if dag is None:
+            dag = build_plan_dag(key[0], induced=induced)
+            self._dags[key] = dag
+            self._info.dag_compilations += 1
+        else:
+            self._info.dag_hits += 1
+        return dag
+
     def _universe_for(self, mode: str) -> tuple[int, ...]:
         """Step-0 candidates for ``mode`` — label-independent, so the
         labeled and stripped variants share one entry per mode."""
@@ -213,9 +252,9 @@ class Miner:
         config: ArabesqueConfig,
     ):
         """Run plan-guided FSM with the session's caches wired in: the
-        plan cache serves (and counts) every candidate compilation, and
-        the run counter meters each engine run.  No universe is needed —
-        guided runs draw step 0 from each plan's own pool."""
+        DAG cache serves (and counts) every level-batch compilation, and
+        the run counter meters each per-level engine run.  No universe is
+        needed — guided runs draw step 0 from each DAG's own root pools."""
         from ..apps.fsm import run_guided_fsm
 
         result = run_guided_fsm(
@@ -223,7 +262,31 @@ class Miner:
             support,
             max_edges=max_edges,
             config=config,
-            plan_provider=lambda pattern: self._plan_for(pattern, False),
+            dag_provider=lambda patterns: self._dag_for(patterns, False),
+        )
+        self._info.runs += result.engine_runs
+        return result
+
+    def _guided_motifs(
+        self,
+        graph: LabeledGraph,
+        max_size: int,
+        min_size: int,
+        config: ArabesqueConfig,
+    ):
+        """Run DAG-guided motifs with the session's DAG cache wired in.
+
+        The whole distribution is one engine run over one cached
+        multi-query DAG; no universe is involved — the DAG's root pools
+        are its own step 0."""
+        from ..apps.motifs import run_guided_motifs
+
+        result = run_guided_motifs(
+            graph,
+            max_size,
+            min_size=min_size,
+            config=config,
+            dag_provider=lambda patterns: self._dag_for(patterns, True),
         )
         self._info.runs += result.engine_runs
         return result

@@ -18,9 +18,12 @@ workload's typed result view (:mod:`repro.session.results`);
 Plan-capable queries default to **guided** execution with
 ``.exhaustive()`` as the opt-out into the filter-process oracle:
 :meth:`Miner.match` compiles its query into one
-:class:`~repro.plan.MatchingPlan` (cached on the session), and
-:meth:`Miner.fsm` compiles one plan per candidate pattern through the
-same cache, accumulating MNI domains from guided matches
+:class:`~repro.plan.MatchingPlan` (cached on the session),
+:meth:`Miner.motifs` compiles the whole motif batch into one multi-query
+:class:`~repro.plan.PlanDAG` answering the distribution in a single run
+(:func:`repro.apps.motifs.run_guided_motifs`), and :meth:`Miner.fsm`
+batches each level's candidates into one DAG run through the same
+session DAG cache, accumulating MNI domains demuxed per leaf
 (:func:`repro.apps.fsm.run_guided_fsm`).  Guided queries also default to
 list embedding storage — the plan's symmetry restrictions already make
 every stored path unique, so ODAG's spurious-path re-validation is pure
@@ -155,26 +158,26 @@ class Query:
 
     # Pattern-strategy options exist on every query so misuse fails with
     # a message instead of an AttributeError; only the plan-capable
-    # queries (MatchQuery, FSMQuery) override.
+    # queries (MatchQuery, FSMQuery, MotifQuery) override.
     def guided(self) -> "Query":
         raise SessionError(
             f"{self.workload} queries have no guided/exhaustive choice — "
-            "only plan-capable queries (Miner.match, Miner.fsm) compile "
-            "exploration plans"
+            "only plan-capable queries (Miner.match, Miner.fsm, "
+            "Miner.motifs) compile exploration plans"
         )
 
     def exhaustive(self) -> "Query":
         raise SessionError(
             f"{self.workload} queries always run exhaustively — only "
-            "plan-capable queries (Miner.match, Miner.fsm) have an "
-            "exhaustive() opt-out"
+            "plan-capable queries (Miner.match, Miner.fsm, Miner.motifs) "
+            "have an exhaustive() opt-out"
         )
 
     def plan(self, plan: MatchingPlan) -> "Query":
         raise SessionError(
             f"{self.workload} queries cannot take a precompiled plan — "
             "only pattern queries (Miner.match) accept one (guided FSM "
-            "compiles one plan per candidate pattern itself)"
+            "and guided motifs compile their own multi-query plan DAGs)"
         )
 
     # ------------------------------------------------------------------
@@ -235,10 +238,10 @@ class Query:
         base = self._base_config or ArabesqueConfig()
         if base.plan is not None and not isinstance(self, _PatternShaped):
             raise SessionError(
-                f"the base config carries a MatchingPlan, but {self.workload} "
+                f"the base config carries a plan, but {self.workload} "
                 "queries never take one — only Miner.match accepts a "
-                "precompiled plan (guided FSM compiles one plan per "
-                "candidate pattern itself)"
+                "precompiled MatchingPlan (guided FSM and guided motifs "
+                "compile their own multi-query plan DAGs)"
             )
         overrides: dict[str, Any] = {}
         if self._workers is not None:
@@ -279,11 +282,132 @@ class _PatternShaped:
     """Marker: queries that may carry a MatchingPlan in their config."""
 
 
-class MotifQuery(Query):
-    """Motif frequency distribution up to ``max_size`` vertices."""
+class _GuidedAggregateQuery(Query):
+    """Shared strategy surface for aggregate plan-capable workloads.
+
+    FSM and motifs both answer with an *aggregate* (a pattern table, a
+    distribution) rather than per-embedding outputs, and both default to
+    guided execution over session-cached plan DAGs.  This base owns the
+    control flow they share — guided/exhaustive selection, the loud
+    rejections of ``.collect(True)``/``.limit()``/``.count()`` and the
+    ``config(output_limit=...)`` spelling under guided execution, the
+    list-storage default, and the guided ``run()`` dispatch — while each
+    workload supplies its own error wording (class attributes below) and
+    its guided driver (``_run_guided``).
+    """
+
+    #: Workload-specific error texts (each must point at .exhaustive()).
+    _guided_option_error: str
+    _collect_error: str
+    _limit_error: str
+    _count_error: str
+    _config_cap_error: str
+
+    def __init__(self, miner: "Miner") -> None:
+        super().__init__(miner)
+        self._guided: bool | None = None  # None = default (guided)
+
+    # -- strategy options ---------------------------------------------
+    def guided(self) -> "_GuidedAggregateQuery":
+        """Run the plan-guided path (the default)."""
+        if self._collect is True or self._limit is not None:
+            raise SessionError(self._guided_option_error)
+        self._guided = True
+        return self
+
+    def exhaustive(self) -> "_GuidedAggregateQuery":
+        """Opt out of guided execution into the exploration-agnostic
+        oracle covering the whole workload in one run."""
+        self._guided = False
+        return self
+
+    @property
+    def is_guided(self) -> bool:
+        return self._guided if self._guided is not None else True
+
+    # -- option interactions ------------------------------------------
+    def collect(self, flag: bool = True) -> "_GuidedAggregateQuery":
+        if flag and self._guided is not False:
+            raise SessionError(self._collect_error)
+        super().collect(flag)
+        return self
+
+    def limit(self, count: int) -> "_GuidedAggregateQuery":
+        if self._guided is not False:
+            raise SessionError(self._limit_error)
+        super().limit(count)
+        return self
+
+    def count(self) -> int:
+        if self.is_guided:
+            raise SessionError(self._count_error)
+        return super().count()
+
+    def _default_storage(self) -> str | None:
+        # Guided runs store only plan-accepted symmetry-unique paths, so
+        # list storage wins for the same reason it does for matches.
+        return LIST_STORAGE if self.is_guided else None
+
+    # -- execution ------------------------------------------------------
+    def run(self) -> MiningResult:
+        if not self.is_guided:
+            return super().run()
+        if self._base_config is not None and self._base_config.output_limit is not None:
+            # Mirror the .limit() rejection for the config() spelling —
+            # a capped output collection only makes sense exhaustively.
+            # (A bare collect_outputs=True cannot be rejected the same
+            # way: it is the dataclass default, so intent is invisible;
+            # the guided drivers run with collection off regardless.)
+            raise SessionError(self._config_cap_error)
+        graph = self._miner._graph_variant(self._labeled)
+        self._validate(graph)
+        return self._run_guided(graph, self._build_config())
+
+    def _run_guided(self, graph, config: ArabesqueConfig) -> MiningResult:
+        """Execute the workload's guided driver with the built config."""
+        raise NotImplementedError
+
+
+class MotifQuery(_GuidedAggregateQuery):
+    """Motif frequency distribution up to ``max_size`` vertices.
+
+    DAG-guided execution is the default, mirroring :class:`MatchQuery`
+    and :class:`FSMQuery`: every canonical motif candidate of the size
+    range is compiled into ONE multi-query plan DAG (cached on the
+    session) and the whole distribution is answered in a single guided
+    engine run.  ``.exhaustive()`` opts out into the
+    exploration-agnostic oracle.  Neither strategy materializes
+    per-embedding outputs — the distribution is an aggregate — so
+    ``.collect(True)``/``.limit()``/``.count()`` require ``.exhaustive()``
+    (where they keep their engine-level meaning), exactly like guided
+    FSM.
+    """
 
     workload = "motifs"
     _stream_needs_outputs = False  # streams the aggregated distribution
+
+    _guided_option_error = (
+        "guided motifs aggregate the distribution, not per-embedding "
+        "outputs — collect()/limit() need the exhaustive() path"
+    )
+    _collect_error = (
+        "guided motifs (the default) aggregate the distribution, not "
+        "per-embedding outputs — chain .exhaustive() before .collect()"
+    )
+    _limit_error = (
+        "guided motifs (the default) produce a distribution table, not "
+        "collected outputs — chain .exhaustive() before .limit()"
+    )
+    _count_error = (
+        "guided motifs do not materialize per-embedding outputs to "
+        "count — read the distribution via .run().counts(), or chain "
+        ".exhaustive() for the raw output count"
+    )
+    _config_cap_error = (
+        "the base config caps collected outputs (output_limit), but "
+        "guided motifs (the default) aggregate the distribution, not "
+        "per-embedding outputs — chain .exhaustive() to collect outputs"
+    )
 
     def __init__(self, miner: "Miner", max_size: int, min_size: int = 3) -> None:
         super().__init__(miner)
@@ -293,13 +417,19 @@ class MotifQuery(Query):
         self._max_size = max_size
         self._min_size = min_size
 
+    def _run_guided(self, graph, config: ArabesqueConfig) -> "MotifResult":
+        guided = self._miner._guided_motifs(
+            graph, self._max_size, self._min_size, config
+        )
+        return MotifResult(guided.run, guided=True, dag=guided.dag)
+
     def _computation(self) -> Computation:
         from ..apps.motifs import MotifCounting
 
         return MotifCounting(self._max_size, min_size=self._min_size)
 
     def _wrap(self, raw) -> MotifResult:
-        return MotifResult(raw)
+        return MotifResult(raw, guided=False)
 
     def _stream_items(self, result: MotifResult) -> Any:
         return sorted(
@@ -344,20 +474,46 @@ class CliqueQuery(Query):
         return CliqueResult(raw, maximal=self._maximal)
 
 
-class FSMQuery(Query):
+class FSMQuery(_GuidedAggregateQuery):
     """Frequent subgraph mining with MNI support.
 
     Plan-guided execution is the default, mirroring :class:`MatchQuery`:
-    candidate patterns are grown level-wise and each one's embeddings
-    are discovered through a compiled (session-cached) plan, with MNI
-    domains accumulated straight from the guided matches.
-    ``.exhaustive()`` opts out into the single-run edge-exploration
-    oracle — the only mode that materializes per-embedding outputs, so
-    ``.collect(True)``/``.limit()``/``.count()`` require it.
+    candidate patterns are grown level-wise, each level's batch is
+    compiled into one multi-query plan DAG (session-cached), and MNI
+    domains are accumulated straight from the guided matches, demuxed
+    per accepting leaf.  ``.exhaustive()`` opts out into the single-run
+    edge-exploration oracle — the only mode that materializes
+    per-embedding outputs, so ``.collect(True)``/``.limit()``/
+    ``.count()`` require it.
     """
 
     workload = "fsm"
     _stream_needs_outputs = False  # streams the frequent-pattern table
+
+    _guided_option_error = (
+        "guided FSM accumulates MNI domains, not per-embedding outputs "
+        "— collect()/limit() need the exhaustive() path"
+    )
+    _collect_error = (
+        "guided FSM (the default) accumulates MNI domains, not "
+        "per-embedding outputs — chain .exhaustive() before .collect() "
+        "to materialize frequent embeddings"
+    )
+    _limit_error = (
+        "guided FSM (the default) produces a pattern table, not "
+        "collected outputs — chain .exhaustive() before .limit()"
+    )
+    _count_error = (
+        "guided FSM does not materialize frequent embeddings to count — "
+        "use len(result.patterns()) for the pattern count, or chain "
+        ".exhaustive() for the embedding count"
+    )
+    _config_cap_error = (
+        "the base config caps collected outputs (output_limit), but "
+        "guided FSM (the default) accumulates MNI domains, not "
+        "per-embedding outputs — chain .exhaustive() to collect "
+        "frequent embeddings"
+    )
 
     def __init__(
         self, miner: "Miner", support: int, max_edges: int | None = None
@@ -368,82 +524,8 @@ class FSMQuery(Query):
         FrequentSubgraphMining(support, max_edges=max_edges)  # eager check
         self._support = support
         self._max_edges = max_edges
-        self._guided: bool | None = None  # None = default (guided)
 
-    # -- strategy options ---------------------------------------------
-    def guided(self) -> "FSMQuery":
-        """Run the plan-guided per-candidate path (the default)."""
-        if self._collect is True or self._limit is not None:
-            raise SessionError(
-                "guided FSM accumulates MNI domains, not per-embedding "
-                "outputs — collect()/limit() need the exhaustive() path"
-            )
-        self._guided = True
-        return self
-
-    def exhaustive(self) -> "FSMQuery":
-        """Opt out of guided execution: one exhaustive edge-exploration
-        run covering every pattern at once (the oracle)."""
-        self._guided = False
-        return self
-
-    @property
-    def is_guided(self) -> bool:
-        return self._guided if self._guided is not None else True
-
-    # -- option interactions ------------------------------------------
-    def collect(self, flag: bool = True) -> "FSMQuery":
-        if flag and self._guided is not False:
-            raise SessionError(
-                "guided FSM (the default) accumulates MNI domains, not "
-                "per-embedding outputs — chain .exhaustive() before "
-                ".collect() to materialize frequent embeddings"
-            )
-        super().collect(flag)
-        return self
-
-    def limit(self, count: int) -> "FSMQuery":
-        if self._guided is not False:
-            raise SessionError(
-                "guided FSM (the default) produces a pattern table, not "
-                "collected outputs — chain .exhaustive() before .limit()"
-            )
-        super().limit(count)
-        return self
-
-    def count(self) -> int:
-        if self.is_guided:
-            raise SessionError(
-                "guided FSM does not materialize frequent embeddings to "
-                "count — use len(result.patterns()) for the pattern "
-                "count, or chain .exhaustive() for the embedding count"
-            )
-        return super().count()
-
-    def _default_storage(self) -> str | None:
-        # Guided FSM stores symmetry-unique plan paths per candidate, so
-        # list storage wins for the same reason it does for matches.
-        return LIST_STORAGE if self.is_guided else None
-
-    # -- execution ------------------------------------------------------
-    def run(self) -> FSMResult:
-        if not self.is_guided:
-            return super().run()
-        if self._base_config is not None and self._base_config.output_limit is not None:
-            # Mirror the .limit() rejection for the config() spelling —
-            # a capped output collection only makes sense exhaustively.
-            # (A bare collect_outputs=True cannot be rejected the same
-            # way: it is the dataclass default, so intent is invisible;
-            # the guided driver runs with collection off regardless.)
-            raise SessionError(
-                "the base config caps collected outputs "
-                "(output_limit), but guided FSM (the default) "
-                "accumulates MNI domains, not per-embedding outputs — "
-                "chain .exhaustive() to collect frequent embeddings"
-            )
-        graph = self._miner._graph_variant(self._labeled)
-        self._validate(graph)
-        config = self._build_config()
+    def _run_guided(self, graph, config: ArabesqueConfig) -> "FSMResult":
         guided = self._miner._guided_fsm(
             graph, self._support, self._max_edges, config
         )

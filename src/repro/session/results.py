@@ -18,6 +18,7 @@ from ..core.results import RunResult
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..apps.fsm import GuidedFSMResult
+    from ..plan.dag import PlanDAG
     from ..plan.planner import MatchingPlan
 
 
@@ -69,7 +70,20 @@ class MiningResult:
 
 @dataclass(frozen=True)
 class MotifResult(MiningResult):
-    """Motif-distribution view: canonical pattern -> embedding count."""
+    """Motif-distribution view: canonical pattern -> embedding count.
+
+    Both strategies land here with the identical ``output_aggregates``
+    surface: the exhaustive single-run oracle wraps its engine record
+    directly, the DAG-guided path wraps its one multi-query engine run
+    (the compiled DAG rides along as ``.dag`` for observability).
+    """
+
+    #: Whether the multi-query DAG path ran (False = exhaustive oracle).
+    guided: bool = True
+    #: The compiled plan DAG the guided run executed (None on the
+    #: exhaustive path, and when no motif candidate of the requested
+    #: size range exists in the graph).
+    dag: "PlanDAG | None" = None
 
     def counts(self) -> dict[Pattern, int]:
         """Canonical motif pattern -> number of vertex-induced embeddings."""

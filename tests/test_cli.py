@@ -41,6 +41,8 @@ class TestCommands:
     def test_motifs(self, capsys, edge_list_file):
         assert main(["motifs", str(edge_list_file), "--max-size", "3"]) == 0
         out = capsys.readouterr().out
+        assert "motifs (guided)" in out  # DAG-guided is the default
+        assert "dag: patterns=" in out
         assert "motif v=3" in out
         assert "processed=" in out
 
@@ -50,6 +52,41 @@ class TestCommands:
         ) == 0
         out = capsys.readouterr().out
         assert "motif" in out
+
+    def test_motifs_exhaustive_round_trip(self, capsys, edge_list_file):
+        """`motifs` and `motifs --exhaustive` print identical tables."""
+
+        def motif_lines(args):
+            assert main(args) == 0
+            out = capsys.readouterr().out
+            return [
+                line for line in out.splitlines()
+                if line.startswith("motif v=")
+            ]
+
+        base = ["motifs", str(edge_list_file), "--max-size", "3"]
+        guided = motif_lines(base)
+        exhaustive = motif_lines(base + ["--exhaustive"])
+        assert guided == exhaustive and guided
+
+    def test_motifs_guided_rejects_limit(self, capsys, edge_list_file):
+        # --limit caps collected outputs, which guided motifs never
+        # materialize — same loud facade error, clean exit.
+        with pytest.raises(SystemExit, match="exhaustive"):
+            main(
+                ["motifs", str(edge_list_file), "--max-size", "3",
+                 "--limit", "5"]
+            )
+        assert main(
+            ["motifs", str(edge_list_file), "--max-size", "3",
+             "--exhaustive", "--limit", "5"]
+        ) == 0
+
+    def test_motifs_guided_exhaustive_mutually_exclusive(self, edge_list_file):
+        with pytest.raises(SystemExit):
+            main(
+                ["motifs", str(edge_list_file), "--guided", "--exhaustive"]
+            )
 
     def test_cliques(self, capsys, edge_list_file):
         assert main(["cliques", str(edge_list_file), "--max-size", "3"]) == 0

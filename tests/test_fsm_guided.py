@@ -178,36 +178,37 @@ class TestSessionIntegration:
         assert result.guided_details is not None
         assert result.guided_details.levels[0].level == 1
 
-    def test_plan_cache_flat_on_repeated_run(self):
+    def test_dag_cache_flat_on_repeated_run(self):
         g = labeled_graph(5)
         miner = Miner(g)
         miner.fsm(3, max_edges=3).run()
         first = miner.cache_info()
-        assert first.plan_compilations > 0
+        assert first.dag_compilations > 0
+        # Candidates never compile solo plans — each level is one DAG.
+        assert first.plan_compilations == 0
         miner.fsm(3, max_edges=3).run()
         second = miner.cache_info()
-        # Every candidate generation of the repeat run is served from
-        # the session's plan cache: zero recompilations, only hits.
-        assert second.plan_compilations == first.plan_compilations
-        assert second.plan_hits > first.plan_hits
+        # Every level batch of the repeat run is served from the
+        # session's DAG cache: zero recompilations, only hits (the
+        # per-run domain whitelists are overlaid on the cached DAGs).
+        assert second.dag_compilations == first.dag_compilations
+        assert second.dag_hits > first.dag_hits
         assert second.runs > first.runs
 
-    def test_plan_cache_shared_with_match_queries(self):
+    def test_one_engine_run_per_level(self):
         g = labeled_graph(5)
-        miner = Miner(g)
-        miner.fsm(3, max_edges=2).run()
-        compiled = miner.cache_info().plan_compilations
-        # Re-matching one of the mined multi-edge patterns monomorphically
-        # reuses the cached FSM candidate plan instead of compiling anew
-        # (single-edge patterns never compile — level 1 is a closed-form
-        # edge scan).
-        pattern = next(
-            p
-            for p in Miner(g).fsm(3, max_edges=2).run().patterns()
-            if p.num_edges == 2
+        result = Miner(g).fsm(3, max_edges=3).run()
+        details = result.guided_details
+        # Level 1 is a closed-form edge scan; every deeper level with at
+        # least one non-pruned candidate costs exactly one batched run,
+        # no matter how many candidates it evaluates.
+        levels_with_runs = sum(
+            1
+            for level in details.levels[1:]
+            if level.candidates > level.pruned
         )
-        miner.match(pattern, induced=False).run()
-        assert miner.cache_info().plan_compilations == compiled
+        assert details.engine_runs == levels_with_runs
+        assert any(level.candidates - level.pruned > 1 for level in details.levels)
 
     def test_collect_limit_count_require_exhaustive(self):
         miner = Miner(labeled_graph(5))

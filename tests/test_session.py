@@ -157,18 +157,23 @@ class TestMatchStrategyValidation:
             miner.match("triangle").plan("triangle")
 
     def test_guided_exhaustive_only_for_plan_capable_queries(self, miner):
-        with pytest.raises(SessionError, match="motifs"):
-            miner.motifs(3).guided()
+        with pytest.raises(SessionError, match="cliques"):
+            miner.cliques(3).guided()
         with pytest.raises(SessionError, match="cliques"):
             miner.cliques(3).exhaustive()
         with pytest.raises(SessionError, match="cliques"):
             miner.cliques(3).plan(compile_plan(NAMED_SHAPES["triangle"]))
-        # FSM is plan-capable (guided by default) but compiles its own
-        # per-candidate plans — a single precompiled plan is rejected.
-        with pytest.raises(SessionError, match="per candidate"):
+        # FSM and motifs are plan-capable (guided by default) but compile
+        # their own multi-query DAGs — a single precompiled plan is
+        # rejected.
+        with pytest.raises(SessionError, match="multi-query"):
             miner.fsm(2).plan(compile_plan(NAMED_SHAPES["triangle"]))
+        with pytest.raises(SessionError, match="multi-query"):
+            miner.motifs(3).plan(compile_plan(NAMED_SHAPES["triangle"]))
         assert miner.fsm(2).exhaustive().is_guided is False
         assert miner.fsm(2).guided().is_guided is True
+        assert miner.motifs(3).exhaustive().is_guided is False
+        assert miner.motifs(3).guided().is_guided is True
 
     def test_disconnected_pattern_rejected_at_build(self, miner):
         disconnected = Pattern((0, 0, 0, 0), ((0, 1, 0), (2, 3, 0)))
@@ -401,31 +406,35 @@ class TestSessionCaching:
         monkeypatch.setattr(
             miner_module, "initial_candidates", counting_initial
         )
+        # Guided motif and match queries bring their own step-0 pools
+        # (the DAG root pools / the plan's label index), so they neither
+        # build nor hit the universe; cliques build it once.
         miner.motifs(3).unlabeled().collect(False).run()
         miner.cliques(3, min_size=3).run()
-        # Guided match queries bring their own step-0 pool (the plan's
-        # label index), so they neither build nor hit the universe.
         miner.match("triangle").unlabeled().run()
         assert calls == ["vertex"]  # one vertex universe, built once
         info = miner.cache_info()
         assert info.universe_builds == 1
-        assert info.universe_hits == 1
+        assert info.universe_hits == 0
         assert info.runs == 3
+        miner.motifs(3).unlabeled().exhaustive().collect(False).run()
+        assert miner.cache_info().universe_hits == 1
         miner.match("triangle").unlabeled().exhaustive().run()
         assert miner.cache_info().universe_hits == 2
 
     def test_universe_cached_per_exploration_mode(self, miner):
-        miner.motifs(3).unlabeled().collect(False).run()   # vertex mode
-        # Exhaustive FSM is the one edge-exploration workload; guided
-        # FSM (the default) runs vertex-mode per-candidate plans.
+        # Exhaustive motifs build the vertex universe; exhaustive FSM is
+        # the one edge-exploration workload.
+        miner.motifs(3).unlabeled().exhaustive().collect(False).run()
         miner.fsm(3, max_edges=2).exhaustive().collect(False).run()
         miner.cliques(3, min_size=3).run()                 # vertex again
         info = miner.cache_info()
         assert info.universe_builds == 2
         assert info.universe_hits == 1
-        # Guided FSM needs no universe at all: each candidate plan
-        # brings its own step-0 pool (label index / domain whitelist).
+        # Guided FSM and guided motifs need no universe at all: DAG root
+        # pools (label indexes / domain whitelists) are their step 0.
         miner.fsm(3, max_edges=2).run()
+        miner.motifs(3).unlabeled().collect(False).run()
         info = miner.cache_info()
         assert info.universe_builds == 2
         assert info.universe_hits == 1
