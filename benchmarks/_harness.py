@@ -26,6 +26,7 @@ universes) is automatically amortized across workers and backends.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -38,6 +39,21 @@ def report(name: str, title: str, lines: list[str]) -> str:
     print("\n" + body)
     (RESULTS_DIR / f"{name}.txt").write_text(body, encoding="utf-8")
     return body
+
+
+def report_json(name: str, payload: dict) -> Path:
+    """Persist a machine-readable result under benchmarks/results/.
+
+    Written alongside the human-readable ``report`` block so CI (and any
+    regression tooling) can assert on exact numbers instead of parsing
+    the text table.  Keys are sorted for stable diffs.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path
 
 
 def fmt_count(value: float) -> str:

@@ -42,21 +42,41 @@ must equal both the per-pattern guided counts and the exhaustive
 ``MotifCounting`` oracle (hard assert), and the DAG must generate >=
 1.5x fewer extension candidates than the per-pattern runs combined.
 
+A fifth section measures the **CSR + bitset graph core** against the
+dict/set representation it replaced: the same guided partial-match
+states are replayed through the current kernel (CSR adjacency rows,
+big-int bitset whitelists, uniform-edge-label shortcut) and through a
+faithful snapshot of the pre-refactor kernel (tuple rows, frozenset
+membership, ``(u, v) -> eid`` dict lookups, genexp whitelist filters).
+Candidate pools and survivor verdicts must agree candidate-for-candidate
+(hard assert), the best wall-clock ratio must reach the >= 1.5x
+acceptance bar on a full-scale workload, and the numbers land in
+machine-readable ``results/BENCH_graphcore.json``.
+
 ``BENCH_QUICK=1`` shrinks the workloads to tiny graphs so CI can
-smoke-run the bench in seconds.
+smoke-run the bench in seconds (the graph-core timing bar is waived in
+quick mode — tiny replays are noise-dominated — but the equivalence
+oracle and the JSON artifact are not).
 """
 
+import dataclasses
 import os
+import sys
 import time
 
 from repro.apps import match_vertex_sets
 from repro.core import STORAGE_MODES
 from repro.datasets import citeseer_like, mico_like
-from repro.graph import gnm_random_graph, strip_labels
-from repro.plan import NAMED_SHAPES, compile_plan
+from repro.graph import from_bitset, gnm_random_graph, strip_labels
+from repro.plan import (
+    NAMED_SHAPES,
+    compile_plan,
+    guided_survivors,
+)
+from repro.plan.planner import restrict_plan
 from repro.session import Miner
 
-from _harness import fmt_count, report
+from _harness import fmt_count, report, report_json
 
 QUICK = os.environ.get("BENCH_QUICK", "") not in ("", "0", "false", "no")
 
@@ -70,6 +90,11 @@ TARGET_FSM_CANDIDATE_RATIO = 2.0
 #: Multi-query acceptance bar: one DAG-guided motif run must generate
 #: >= 1.5x fewer extension candidates than per-pattern guided runs.
 TARGET_DAG_CANDIDATE_RATIO = 1.5
+
+#: Graph-core acceptance bar: the CSR/bitset kernel must replay guided
+#: states >= 1.5x faster than the legacy dict/set kernel on at least one
+#: full-scale workload.
+TARGET_GRAPHCORE_WALL_RATIO = 1.5
 
 
 def _workloads():
@@ -435,6 +460,357 @@ def run_multi_query_motifs():
     return aggregate
 
 
+class _LegacyGraph:
+    """Snapshot of the pre-refactor ``LabeledGraph``, for the bake-off.
+
+    Same accessor surface and same containers the guided kernel ran on
+    before the CSR/bitset core — tuple adjacency rows, per-vertex
+    frozensets, a ``(u, v) -> eid`` dict, a label-index dict — rebuilt
+    from the current graph so both kernels see identical topology.  The
+    legacy kernel below calls these *methods* exactly as the old code
+    did; hand-inlining the lookups here would flatter the baseline.
+    """
+
+    __slots__ = (
+        "num_vertices",
+        "_vertex_labels",
+        "_neighbors",
+        "_neighbor_sets",
+        "_edge_index",
+        "_edge_labels",
+        "_label_index",
+    )
+
+    def __init__(self, graph):
+        n = graph.num_vertices
+        self.num_vertices = n
+        self._vertex_labels = tuple(graph.vertex_labels)
+        self._neighbors = tuple(tuple(graph.neighbors(v)) for v in range(n))
+        self._neighbor_sets = tuple(frozenset(row) for row in self._neighbors)
+        self._edge_labels = tuple(graph.edge_labels)
+        self._edge_index = {(u, v): eid for eid, u, v in graph.edge_iter()}
+        index = {}
+        for vertex, label in enumerate(self._vertex_labels):
+            index.setdefault(label, []).append(vertex)
+        self._label_index = {
+            label: tuple(ids) for label, ids in index.items()
+        }
+
+    def vertices(self):
+        return range(self.num_vertices)
+
+    def vertex_label(self, v):
+        return self._vertex_labels[v]
+
+    def vertices_with_label(self, label):
+        return self._label_index.get(label, ())
+
+    def degree(self, v):
+        return len(self._neighbors[v])
+
+    def neighbors(self, v):
+        return self._neighbors[v]
+
+    def adjacent(self, u, v):
+        return v in self._neighbor_sets[u]
+
+    def edge_label(self, eid):
+        return self._edge_labels[eid]
+
+    def edge_id(self, u, v):
+        key = (u, v) if u < v else (v, u)
+        try:
+            return self._edge_index[key]
+        except KeyError:
+            raise KeyError(f"no edge between {u} and {v}") from None
+
+    def nbytes_estimate(self) -> int:
+        """Rough resident size of the legacy containers (getsizeof sums)."""
+        total = sys.getsizeof(self._vertex_labels)
+        total += sys.getsizeof(self._edge_labels)
+        for row, row_set in zip(self._neighbors, self._neighbor_sets):
+            total += sys.getsizeof(row) + sys.getsizeof(row_set)
+        total += sys.getsizeof(self._edge_index)
+        total += sum(sys.getsizeof(key) for key in self._edge_index)
+        total += sys.getsizeof(self._label_index)
+        total += sum(sys.getsizeof(ids) for ids in self._label_index.values())
+        return total
+
+
+def _legacy_plan(plan):
+    """The same compiled plan with frozenset whitelists (the old type)."""
+    steps = tuple(
+        dataclasses.replace(
+            step,
+            allowed=None
+            if step.allowed is None
+            else frozenset(from_bitset(step.allowed)),
+        )
+        for step in plan.steps
+    )
+    return dataclasses.replace(plan, steps=steps)
+
+
+def _legacy_step_zero_pool(plan, graph):
+    """Verbatim pre-refactor ``step_zero_pool`` (range fallback and all)."""
+    first = plan.steps[0]
+    if first.allowed is not None:
+        return tuple(sorted(first.allowed))
+    pool = graph.vertices_with_label(first.vertex_label)
+    if len(pool) == graph.num_vertices:
+        return graph.vertices()
+    return pool
+
+
+def _legacy_candidates(plan, graph, words):
+    """Verbatim pre-refactor ``guided_candidates`` on the legacy layout."""
+    position = len(words)
+    step = plan.steps[position]
+    if not step.back_edges:
+        return _legacy_step_zero_pool(plan, graph)
+    anchor = min(
+        (words[earlier] for earlier, _ in step.back_edges),
+        key=lambda vertex: (graph.degree(vertex), vertex),
+    )
+    neighbors = graph.neighbors(anchor)
+    if step.allowed is None:
+        return neighbors
+    allowed = step.allowed
+    return tuple(word for word in neighbors if word in allowed)
+
+
+def _legacy_check(plan, graph, parent_words, word):
+    """Verbatim pre-refactor ``guided_extension_check``."""
+    position = len(parent_words)
+    step = plan.steps[position]
+    if graph.vertex_label(word) != step.vertex_label:
+        return False
+    if step.allowed is not None and word not in step.allowed:
+        return False
+    if word in parent_words:
+        return False
+    for earlier, edge_label in step.back_edges:
+        matched = parent_words[earlier]
+        if not graph.adjacent(word, matched):
+            return False
+        if graph.edge_label(graph.edge_id(word, matched)) != edge_label:
+            return False
+    if plan.induced:
+        for earlier in step.back_non_edges:
+            if graph.adjacent(word, parent_words[earlier]):
+                return False
+    for earlier in step.must_exceed:
+        if parent_words[earlier] >= word:
+            return False
+    for earlier in step.must_precede:
+        if parent_words[earlier] <= word:
+            return False
+    return True
+
+
+def _collect_guided_states(plan, graph):
+    """Every surviving partial match (< full size) — the replay inputs.
+
+    This IS the guided exploration tree: replaying per-state survivor
+    generation over these states exercises exactly the per-step work the
+    engine's task loop performs, minus task bookkeeping.
+    """
+    states = []
+    stack = [()]
+    while stack:
+        words = stack.pop()
+        states.append(words)
+        _, survivors = guided_survivors(plan, graph, words)
+        for word in survivors:
+            extended = words + (word,)
+            if len(extended) < plan.num_steps:
+                stack.append(extended)
+    return states
+
+
+def _verify_kernels_agree(plan, graph, old_plan, old_graph, states):
+    """Candidate-for-candidate equivalence oracle; returns stream totals.
+
+    The legacy kernel's pool + per-word verdicts must reproduce the fused
+    kernel's pool size and exact survivor stream at every state.
+    """
+    candidates = 0
+    survivors = 0
+    for words in states:
+        num_candidates, new_survivors = guided_survivors(plan, graph, words)
+        old_pool = _legacy_candidates(old_plan, old_graph, words)
+        old_survivors = tuple(
+            word
+            for word in old_pool
+            if _legacy_check(old_plan, old_graph, words, word)
+        )
+        assert num_candidates == len(old_pool), (
+            f"pool sizes diverge at {words}: "
+            f"csr={num_candidates} legacy={len(old_pool)}"
+        )
+        assert new_survivors == old_survivors, (
+            f"survivors diverge at {words}: csr={new_survivors[:10]}... "
+            f"legacy={old_survivors[:10]}..."
+        )
+        candidates += num_candidates
+        survivors += len(new_survivors)
+    return candidates, survivors
+
+
+def _replay_csr(plan, graph, states):
+    for words in states:
+        guided_survivors(plan, graph, words)
+
+
+def _replay_legacy(old_plan, old_graph, states):
+    for words in states:
+        for word in _legacy_candidates(old_plan, old_graph, words):
+            _legacy_check(old_plan, old_graph, words, word)
+
+
+def _best_of(repeats, fn):
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _graphcore_workloads():
+    """(graph name, graph, query name, induced, min whitelist degree).
+
+    A non-``None`` degree pushes a degree-``>=k`` domain onto every plan
+    step via :func:`restrict_plan` — the FSM-shaped whitelisted case
+    where the legacy kernel pays a genexp + frozenset probe per pool
+    element and the CSR core pays one ``&``.
+    """
+    if QUICK:
+        tiny = strip_labels(gnm_random_graph(40, 100, seed=7))
+        return [
+            ("tiny-gnm", tiny, "triangle", True, None),
+            ("tiny-gnm", tiny, "square", True, 2),
+        ]
+    citeseer = strip_labels(citeseer_like(scale=0.3))
+    mico = strip_labels(mico_like(scale=0.002))
+    return [
+        ("citeseer-0.3", citeseer, "triangle", True, None),
+        ("citeseer-0.3", citeseer, "square", True, 2),
+        ("citeseer-0.3", citeseer, "house", True, 2),
+        ("mico-0.002", mico, "triangle", True, 2),
+        ("mico-0.002", mico, "square", True, None),
+    ]
+
+
+def run_graphcore_speedup():
+    """CSR/bitset kernel vs the legacy dict/set kernel on replayed states.
+
+    Returns the best per-workload wall ratio; hard-asserts stream
+    equivalence always, and the >= 1.5x bar outside quick mode.  Writes
+    ``results/BENCH_graphcore.json``.
+    """
+    repeats = 3
+    rows = []
+    workload_payloads = []
+    cores = {}
+    best_ratio = 0.0
+    total_legacy = 0.0
+    total_csr = 0.0
+    for graph_name, graph, query_name, induced, min_degree in (
+        _graphcore_workloads()
+    ):
+        plan = compile_plan(NAMED_SHAPES[query_name].canonical(), induced=induced)
+        workload = query_name
+        if min_degree is not None:
+            domain = frozenset(
+                v for v in graph.vertices() if graph.degree(v) >= min_degree
+            )
+            plan = restrict_plan(plan, {pv: domain for pv in plan.order})
+            workload += f"+dom{min_degree}"
+        if id(graph) not in cores:
+            cores[id(graph)] = _LegacyGraph(graph)
+        old_graph = cores[id(graph)]
+        old_plan = _legacy_plan(plan)
+        states = _collect_guided_states(plan, graph)
+        candidates, survivors = _verify_kernels_agree(
+            plan, graph, old_plan, old_graph, states
+        )
+        wall_csr = _best_of(
+            repeats, lambda: _replay_csr(plan, graph, states)
+        )
+        wall_legacy = _best_of(
+            repeats,
+            lambda: _replay_legacy(old_plan, old_graph, states),
+        )
+        ratio = wall_legacy / max(1e-9, wall_csr)
+        best_ratio = max(best_ratio, ratio)
+        total_legacy += wall_legacy
+        total_csr += wall_csr
+        csr_bytes = graph.memory_nbytes()
+        legacy_bytes = old_graph.nbytes_estimate()
+        workload_payloads.append(
+            {
+                "graph": graph_name,
+                "query": workload,
+                "induced": induced,
+                "states": len(states),
+                "candidates": candidates,
+                "survivors": survivors,
+                "wall_legacy_s": round(wall_legacy, 6),
+                "wall_csr_s": round(wall_csr, 6),
+                "wall_ratio": round(ratio, 3),
+                "csr_graph_bytes": csr_bytes,
+                "legacy_graph_bytes_est": legacy_bytes,
+            }
+        )
+        rows.append(
+            f"{graph_name:<14} {workload:<14} "
+            f"{len(states):>8,} {fmt_count(candidates):>10} "
+            f"{fmt_count(survivors):>10} "
+            f"{wall_legacy:>8.3f}s {wall_csr:>8.3f}s {ratio:>6.2f}x "
+            f"{fmt_count(legacy_bytes):>10} {fmt_count(csr_bytes):>10}"
+        )
+    aggregate = total_legacy / max(1e-9, total_csr)
+    payload = {
+        "bench": "graphcore_speedup",
+        "quick": QUICK,
+        "repeats": repeats,
+        "target_wall_ratio": TARGET_GRAPHCORE_WALL_RATIO,
+        "best_wall_ratio": round(best_ratio, 3),
+        "aggregate_wall_ratio": round(aggregate, 3),
+        "workloads": workload_payloads,
+    }
+    report_json("BENCH_graphcore", payload)
+    lines = [
+        f"{'graph':<14} {'workload':<14} {'states':>8} {'cand':>10} "
+        f"{'surv':>10} {'wall(dict)':>9} {'wall(csr)':>9} {'ratio':>7} "
+        f"{'B(dict)':>10} {'B(csr)':>10}",
+        *rows,
+        "",
+        f"best workload wall ratio: {best_ratio:.2f}x, aggregate "
+        f"{aggregate:.2f}x (target best >= "
+        f"{TARGET_GRAPHCORE_WALL_RATIO:.1f}x"
+        f"{', waived in quick mode' if QUICK else ''})",
+        "candidate pools and survivor verdicts agree "
+        "candidate-for-candidate between kernels (hard-asserted)",
+        "+domN workloads push a degree->=N whitelist onto every step: "
+        "the legacy kernel filters pools by genexp + frozenset probe, "
+        "the CSR core intersects bitsets with one '&'",
+        "machine-readable copy: results/BENCH_graphcore.json",
+    ]
+    report(
+        "graphcore_speedup",
+        "CSR + bitset graph core vs legacy dict/set kernel",
+        lines,
+    )
+    if not QUICK:
+        assert best_ratio >= TARGET_GRAPHCORE_WALL_RATIO, (
+            f"best graph-core wall ratio {best_ratio:.2f}x misses the "
+            f"{TARGET_GRAPHCORE_WALL_RATIO}x bar"
+        )
+    return best_ratio
+
+
 def test_planner_speedup(benchmark):
     outcome = {}
 
@@ -472,8 +848,21 @@ def test_multi_query_motifs(benchmark):
     assert outcome["aggregate"] >= TARGET_DAG_CANDIDATE_RATIO
 
 
+def test_graphcore_speedup(benchmark):
+    outcome = {}
+
+    def run_all():
+        outcome["best"] = run_graphcore_speedup()
+        return outcome["best"]
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    if not QUICK:
+        assert outcome["best"] >= TARGET_GRAPHCORE_WALL_RATIO
+
+
 if __name__ == "__main__":  # pragma: no cover
     run_planner_speedup()
     run_guided_storage_interplay()
     run_guided_fsm_speedup()
     run_multi_query_motifs()
+    run_graphcore_speedup()

@@ -13,22 +13,23 @@ from __future__ import annotations
 
 from ..core.computation import Computation
 from ..core.embedding import Embedding, VERTEX_EXPLORATION, VertexInducedEmbedding
+from ..graph.bitset import to_bitset
 
 
 def is_maximal_clique(embedding: VertexInducedEmbedding) -> bool:
     """No vertex outside the embedding neighbors every member."""
     graph = embedding.graph
     words = embedding.words
-    # Intersect neighborhoods starting from the smallest to fail fast.
+    # Intersect neighbor bitsets starting from the smallest to fail fast.
     smallest = min(words, key=graph.degree)
-    common = set(graph.neighbor_set(smallest))
-    members = set(words)
+    common = graph.neighbor_bits(smallest)
+    outside = ~to_bitset(words)
     for v in words:
-        if v is not smallest:
-            common &= graph.neighbor_set(v)
-        if not (common - members):
+        if v != smallest:
+            common &= graph.neighbor_bits(v)
+        if not common & outside:
             return True
-    return not (common - members)
+    return not common & outside
 
 
 class MaximalCliqueFinding(Computation):

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Iterator
 
 from ..graph import LabeledGraph
+from ..graph.bitset import from_bitset, iter_bitset
 
 
 def enumerate_cliques(
@@ -33,8 +34,10 @@ def enumerate_cliques(
         if max_size is not None and len(clique) >= max_size:
             return
         for index, v in enumerate(candidates):
-            neighbor_set = graph.neighbor_set(v)
-            narrowed = [u for u in candidates[index + 1 :] if u in neighbor_set]
+            neighbor_bits = graph.neighbor_bits(v)
+            narrowed = [
+                u for u in candidates[index + 1 :] if (neighbor_bits >> u) & 1
+            ]
             yield from grow(clique + (v,), narrowed)
 
     for v in graph.vertices():
@@ -81,36 +84,45 @@ def degeneracy_order(graph: LabeledGraph) -> list[int]:
 
 
 def enumerate_maximal_cliques(graph: LabeledGraph) -> Iterator[frozenset[int]]:
-    """Bron–Kerbosch with pivoting, outer loop in degeneracy order."""
+    """Bron–Kerbosch with pivoting, outer loop in degeneracy order.
+
+    Candidate/excluded sets are big-int bitsets: narrowing to a vertex's
+    neighborhood is one ``&`` per recursion instead of a set
+    intersection, the pivot scan counts overlap with ``bit_count``.
+    """
 
     def pivot_expand(
-        clique: set[int], candidates: set[int], excluded: set[int]
+        clique: list[int], candidates: int, excluded: int
     ) -> Iterator[frozenset[int]]:
         if not candidates and not excluded:
             yield frozenset(clique)
             return
-        pivot_pool = candidates | excluded
         pivot = max(
-            pivot_pool,
-            key=lambda u: len(candidates & graph.neighbor_set(u)),
+            iter_bitset(candidates | excluded),
+            key=lambda u: (candidates & graph.neighbor_bits(u)).bit_count(),
         )
-        for v in sorted(candidates - graph.neighbor_set(pivot)):
-            neighbor_set = graph.neighbor_set(v)
-            clique.add(v)
+        for v in from_bitset(candidates & ~graph.neighbor_bits(pivot)):
+            neighbor_bits = graph.neighbor_bits(v)
+            clique.append(v)
             yield from pivot_expand(
-                clique, candidates & neighbor_set, excluded & neighbor_set
+                clique, candidates & neighbor_bits, excluded & neighbor_bits
             )
-            clique.discard(v)
-            candidates = candidates - {v}
-            excluded = excluded | {v}
+            clique.pop()
+            candidates &= ~(1 << v)
+            excluded |= 1 << v
 
     order = degeneracy_order(graph)
     position = {v: i for i, v in enumerate(order)}
     for v in order:
-        neighbor_set = graph.neighbor_set(v)
-        later = {u for u in neighbor_set if position[u] > position[v]}
-        earlier = {u for u in neighbor_set if position[u] < position[v]}
-        yield from pivot_expand({v}, later, earlier)
+        later = 0
+        earlier = 0
+        position_v = position[v]
+        for u in graph.neighbors(v):
+            if position[u] > position_v:
+                later |= 1 << u
+            else:
+                earlier |= 1 << u
+        yield from pivot_expand([v], later, earlier)
 
 
 def count_maximal_cliques(graph: LabeledGraph) -> int:

@@ -49,11 +49,11 @@ def is_canonical_vertex_extension(
         return True
     if parent_words[0] > v:
         return False
-    neighbor_set = graph.neighbor_set(v)
+    neighbor_bits = graph.neighbor_bits(v)
     found_neighbor = False
     for vi in parent_words:
         if not found_neighbor:
-            if vi in neighbor_set:
+            if (neighbor_bits >> vi) & 1:
                 found_neighbor = True
         elif vi > v:
             return False

@@ -120,29 +120,21 @@ class VertexInducedEmbedding(Embedding):
 
     @property
     def edges(self) -> tuple[int, ...]:
-        graph = self.graph
-        members = set(self.words)
-        found: list[int] = []
-        for v in self.words:
-            for u in graph.neighbors(v):
-                if u > v and u in members:
-                    found.append(graph.edge_id(v, u))
-        found.sort()
-        return tuple(found)
+        # The graph's bitset pass returns induced edge ids sorted already.
+        return tuple(self.graph.induced_edge_ids(self.words))
 
     def pattern(self) -> Pattern:
         graph = self.graph
         words = self.words
-        position = {v: i for i, v in enumerate(words)}
         vertex_labels = tuple(graph.vertex_label(v) for v in words)
         pattern_edges: list[tuple[int, int, int]] = []
         for j, v in enumerate(words):
-            neighbor_set = graph.neighbor_set(v)
+            neighbor_bits = graph.neighbor_bits(v)
             for i in range(j):
                 u = words[i]
-                if u in neighbor_set:
+                if (neighbor_bits >> u) & 1:
                     pattern_edges.append(
-                        (i, j, graph.edge_label(graph.edge_id(u, v)))
+                        (i, j, graph.edge_label(graph.edge_between(u, v)))
                     )
         pattern_edges.sort()
         return Pattern(vertex_labels, tuple(pattern_edges))
@@ -157,8 +149,8 @@ class VertexInducedEmbedding(Embedding):
         if len(self.words) <= 1:
             return True
         newest = self.words[-1]
-        neighbor_set = self.graph.neighbor_set(newest)
-        return all(v in neighbor_set for v in self.words[:-1])
+        neighbor_bits = self.graph.neighbor_bits(newest)
+        return all((neighbor_bits >> v) & 1 for v in self.words[:-1])
 
 
 class EdgeInducedEmbedding(Embedding):

@@ -15,34 +15,36 @@ from __future__ import annotations
 from typing import Iterable
 
 from ..graph import LabeledGraph
+from ..graph.bitset import from_bitset, iter_bitset, to_bitset
 from .embedding import EDGE_EXPLORATION, VERTEX_EXPLORATION
 
 
 def vertex_extensions(graph: LabeledGraph, words: tuple[int, ...]) -> list[int]:
     """Distinct neighboring vertices of the embedding, sorted ascending.
 
-    Sorted output keeps exploration deterministic across runs and worker
-    counts, which the tests rely on for cross-validation.
+    One ``|`` per member over the neighbor bitsets, one subtraction of
+    the member bits, one ascending decode — bitsets decode in id order,
+    so exploration stays deterministic across runs and worker counts,
+    which the tests rely on for cross-validation.
     """
-    members = set(words)
-    candidates: set[int] = set()
+    candidates = 0
     for v in words:
-        candidates.update(graph.neighbor_set(v))
-    candidates -= members
-    return sorted(candidates)
+        candidates |= graph.neighbor_bits(v)
+    candidates &= ~to_bitset(words)
+    return list(from_bitset(candidates))
 
 
 def edge_extensions(graph: LabeledGraph, words: tuple[int, ...]) -> list[int]:
     """Distinct incident edges not already in the embedding, sorted."""
-    member_edges = set(words)
-    span: set[int] = set()
+    span = 0
     for eid in words:
-        span.update(graph.edge_endpoints(eid))
-    candidates: set[int] = set()
-    for v in span:
-        candidates.update(graph.incident_edges(v))
-    candidates -= member_edges
-    return sorted(candidates)
+        u, v = graph.edge_endpoints(eid)
+        span |= (1 << u) | (1 << v)
+    candidates = 0
+    for v in iter_bitset(span):
+        candidates |= graph.incident_bits(v)
+    candidates &= ~to_bitset(words)
+    return list(from_bitset(candidates))
 
 
 def extensions(graph: LabeledGraph, mode: str, words: tuple[int, ...]) -> list[int]:

@@ -1,5 +1,6 @@
 """Graph substrate: immutable labeled graphs, builders, generators, I/O."""
 
+from .bitset import bitset_count, from_bitset, iter_bitset, to_bitset
 from .builder import GraphBuilder
 from .generators import (
     assign_labels,
@@ -28,12 +29,15 @@ __all__ = [
     "GraphError",
     "LabeledGraph",
     "assign_labels",
+    "bitset_count",
     "complete_graph",
     "cycle_graph",
+    "from_bitset",
     "gnm_random_graph",
     "graph_from_edges",
     "graph_from_string",
     "grid_graph",
+    "iter_bitset",
     "path_graph",
     "powerlaw_graph",
     "random_regularish_graph",
@@ -41,6 +45,7 @@ __all__ = [
     "read_edge_list",
     "star_graph",
     "strip_labels",
+    "to_bitset",
     "write_adjacency",
     "write_edge_list",
 ]

@@ -7,21 +7,31 @@ vertex ids ``0..n-1``, dense integer edge ids ``0..m-1``, and integer labels
 on both vertices and edges (label ``0`` plays the role of the paper's "null"
 label for unlabeled graphs).
 
-The representation is tuned for the hot loops of embedding exploration:
+The representation is a CSR (compressed sparse row) core over stdlib
+``array('l')`` buffers plus a big-int bitset layer (:mod:`.bitset`):
 
-* ``neighbors(v)`` returns a sorted tuple, so extension generation and the
-  canonicality check of Algorithm 2 can scan in id order without re-sorting;
-* ``edge_id(u, v)`` is a dict lookup, needed when converting vertex-induced
-  embeddings to their edge sets and during edge-based exploration;
-* ``adjacent(u, v)`` is O(min deg) via per-vertex neighbor sets.
+* ``_offsets[v] .. _offsets[v+1]`` delimits vertex ``v``'s row in both the
+  neighbor array (``_csr_neighbors``, sorted by neighbor id; the parallel
+  ``_csr_nbr_edge`` holds each entry's edge id) and the incident-edge array
+  (``_csr_incident``, sorted by edge id) — ``neighbors(v)`` and
+  ``incident_edges(v)`` are zero-copy ``memoryview`` slices;
+* ``adjacent(u, v)`` is a single shift on ``neighbor_bits(u)``, and
+  ``edge_between(u, v)`` is a bisect into the smaller endpoint's CSR row;
+* the label index is built **eagerly** at construction, so instances are
+  truly immutable after ``__init__`` — no first-read mutation dirtying
+  copy-on-write pages under the fork-based process backend.
 
-Instances are deeply immutable: all collections are tuples and the neighbor
-sets are ``frozenset``.  Build them with :class:`repro.graph.GraphBuilder`.
+Build graphs with :class:`repro.graph.GraphBuilder`.
 """
 
 from __future__ import annotations
 
+import sys
+from array import array
+from bisect import bisect_left
 from typing import Iterable, Iterator, Mapping, Sequence
+
+from .bitset import from_bitset, to_bitset
 
 
 class GraphError(ValueError):
@@ -49,13 +59,22 @@ class LabeledGraph:
 
     __slots__ = (
         "_vertex_labels",
-        "_edge_endpoints",
+        "_edge_u",
+        "_edge_v",
         "_edge_labels",
-        "_neighbors",
-        "_neighbor_sets",
-        "_incident_edges",
-        "_edge_index",
+        "_offsets",
+        "_csr_neighbors",
+        "_csr_nbr_edge",
+        "_csr_incident",
+        "_nbr_views",
+        "_inc_views",
+        "_nbr_all",
+        "_nbr_edge_all",
+        "_nbr_bits",
+        "_inc_bits",
         "_label_index",
+        "_label_bits",
+        "_uniform_edge_label",
         "_name",
     )
 
@@ -67,7 +86,7 @@ class LabeledGraph:
         name: str = "graph",
     ) -> None:
         n = len(vertex_labels)
-        self._vertex_labels = tuple(int(label) for label in vertex_labels)
+        self._vertex_labels = array("l", (int(label) for label in vertex_labels))
         if edge_labels is None:
             edge_labels = [0] * len(edges)
         if len(edge_labels) != len(edges):
@@ -75,34 +94,87 @@ class LabeledGraph:
                 f"{len(edges)} edges but {len(edge_labels)} edge labels"
             )
 
-        adjacency: list[list[int]] = [[] for _ in range(n)]
+        adjacency: list[list[tuple[int, int]]] = [[] for _ in range(n)]
         incident: list[list[int]] = [[] for _ in range(n)]
-        endpoints: list[tuple[int, int]] = []
-        edge_index: dict[tuple[int, int], int] = {}
+        edge_u = array("l")
+        edge_v = array("l")
+        nbr_bits = [0] * n
+        inc_bits = [0] * n
+        seen: set[tuple[int, int]] = set()
         for eid, (u, v) in enumerate(edges):
             if not (0 <= u < n and 0 <= v < n):
                 raise GraphError(f"edge ({u}, {v}) references a missing vertex")
             if u == v:
                 raise GraphError(f"self-loop on vertex {u} is not allowed")
             key = (u, v) if u < v else (v, u)
-            if key in edge_index:
+            if key in seen:
                 raise GraphError(f"parallel edge ({u}, {v})")
-            edge_index[key] = eid
-            endpoints.append(key)
-            adjacency[u].append(v)
-            adjacency[v].append(u)
+            seen.add(key)
+            edge_u.append(key[0])
+            edge_v.append(key[1])
+            adjacency[u].append((v, eid))
+            adjacency[v].append((u, eid))
+            # Edge ids are assigned in input order, so per-vertex incident
+            # lists come out sorted by edge id without an explicit sort.
             incident[u].append(eid)
             incident[v].append(eid)
+            nbr_bits[u] |= 1 << v
+            nbr_bits[v] |= 1 << u
+            eid_bit = 1 << eid
+            inc_bits[u] |= eid_bit
+            inc_bits[v] |= eid_bit
 
-        self._edge_endpoints = tuple(endpoints)
-        self._edge_labels = tuple(int(label) for label in edge_labels)
-        self._neighbors = tuple(tuple(sorted(adj)) for adj in adjacency)
-        self._neighbor_sets = tuple(frozenset(adj) for adj in adjacency)
-        self._incident_edges = tuple(tuple(sorted(inc)) for inc in incident)
-        self._edge_index = edge_index
-        #: Lazy label -> sorted vertex ids (built on first use; rebuilding
-        #: is idempotent, so concurrent first readers are harmless).
-        self._label_index: dict[int, tuple[int, ...]] | None = None
+        self._edge_u = edge_u
+        self._edge_v = edge_v
+        self._edge_labels = array("l", (int(label) for label in edge_labels))
+
+        offsets = array("l", [0])
+        csr_neighbors = array("l")
+        csr_nbr_edge = array("l")
+        csr_incident = array("l")
+        for v in range(n):
+            row = adjacency[v]
+            row.sort()
+            for neighbor, eid in row:
+                csr_neighbors.append(neighbor)
+                csr_nbr_edge.append(eid)
+            csr_incident.extend(incident[v])
+            offsets.append(len(csr_neighbors))
+        self._offsets = offsets
+        self._csr_neighbors = csr_neighbors
+        self._csr_nbr_edge = csr_nbr_edge
+        self._csr_incident = csr_incident
+
+        nbr_all = memoryview(csr_neighbors)
+        inc_all = memoryview(csr_incident)
+        self._nbr_all = nbr_all
+        self._nbr_edge_all = memoryview(csr_nbr_edge)
+        self._nbr_views = tuple(
+            nbr_all[offsets[v] : offsets[v + 1]] for v in range(n)
+        )
+        self._inc_views = tuple(
+            inc_all[offsets[v] : offsets[v + 1]] for v in range(n)
+        )
+        self._nbr_bits = tuple(nbr_bits)
+        self._inc_bits = tuple(inc_bits)
+
+        #: Eager label -> sorted vertex ids (tuple + bitset form).  Built
+        #: at construction so no read path ever mutates the instance.
+        index: dict[int, list[int]] = {}
+        for vertex, vertex_label in enumerate(self._vertex_labels):
+            index.setdefault(vertex_label, []).append(vertex)
+        self._label_index = {
+            vertex_label: tuple(ids) for vertex_label, ids in index.items()
+        }
+        self._label_bits = {
+            vertex_label: to_bitset(ids) for vertex_label, ids in index.items()
+        }
+
+        distinct_edge_labels = set(self._edge_labels)
+        self._uniform_edge_label = (
+            distinct_edge_labels.pop() if len(distinct_edge_labels) == 1 else
+            0 if not distinct_edge_labels else None
+        )
         self._name = name
 
     # ------------------------------------------------------------------
@@ -121,18 +193,43 @@ class LabeledGraph:
     @property
     def num_edges(self) -> int:
         """Number of edges (ids are ``0..num_edges - 1``)."""
-        return len(self._edge_endpoints)
+        return len(self._edge_labels)
 
     @property
     def num_vertex_labels(self) -> int:
         """Number of distinct vertex labels present in the graph."""
-        return len(set(self._vertex_labels)) if self._vertex_labels else 0
+        return len(self._label_index)
 
     def average_degree(self) -> float:
         """Average vertex degree, ``2m / n`` (0.0 for the empty graph)."""
         if not self._vertex_labels:
             return 0.0
         return 2.0 * self.num_edges / self.num_vertices
+
+    def memory_nbytes(self) -> int:
+        """Approximate bytes held by the CSR buffers and bitset layer.
+
+        The number the benchmarks report as "peak graph bytes": the array
+        buffers plus the big-int bitsets (per-vertex adjacency/incidence
+        and the label index), excluding fixed per-object overhead.
+        """
+        total = sum(
+            buf.itemsize * len(buf)
+            for buf in (
+                self._vertex_labels,
+                self._edge_u,
+                self._edge_v,
+                self._edge_labels,
+                self._offsets,
+                self._csr_neighbors,
+                self._csr_nbr_edge,
+                self._csr_incident,
+            )
+        )
+        total += sum(sys.getsizeof(bits) for bits in self._nbr_bits)
+        total += sum(sys.getsizeof(bits) for bits in self._inc_bits)
+        total += sum(sys.getsizeof(bits) for bits in self._label_bits.values())
+        return total
 
     # ------------------------------------------------------------------
     # Vertices
@@ -148,39 +245,36 @@ class LabeledGraph:
     @property
     def vertex_labels(self) -> tuple[int, ...]:
         """Tuple of all vertex labels indexed by vertex id."""
-        return self._vertex_labels
+        return tuple(self._vertex_labels)
 
     def vertices_with_label(self, label: int) -> tuple[int, ...]:
         """All vertices carrying ``label``, sorted ascending.
 
         The label index every real mining system keeps: guided plans use
         it as the step-0 candidate pool instead of scanning all vertices.
-        Built lazily once per graph and cached (graphs are immutable).
+        Built eagerly at construction (graphs are immutable).
         """
-        if self._label_index is None:
-            index: dict[int, list[int]] = {}
-            for vertex, vertex_label in enumerate(self._vertex_labels):
-                index.setdefault(vertex_label, []).append(vertex)
-            self._label_index = {
-                vertex_label: tuple(ids) for vertex_label, ids in index.items()
-            }
         return self._label_index.get(label, ())
+
+    def label_bits(self, label: int) -> int:
+        """Bitset form of :meth:`vertices_with_label` (``0`` for absent)."""
+        return self._label_bits.get(label, 0)
 
     def degree(self, v: int) -> int:
         """Degree of vertex ``v``."""
-        return len(self._neighbors[v])
+        return len(self._nbr_views[v])
 
-    def neighbors(self, v: int) -> tuple[int, ...]:
-        """Neighbors of ``v`` as a sorted tuple (ascending vertex id)."""
-        return self._neighbors[v]
+    def neighbors(self, v: int) -> Sequence[int]:
+        """Neighbors of ``v``, sorted ascending (zero-copy CSR row)."""
+        return self._nbr_views[v]
 
-    def neighbor_set(self, v: int) -> frozenset[int]:
-        """Neighbors of ``v`` as a frozenset for O(1) membership tests."""
-        return self._neighbor_sets[v]
+    def neighbor_bits(self, v: int) -> int:
+        """Neighbors of ``v`` as a big-int bitset (O(1) membership/``&``)."""
+        return self._nbr_bits[v]
 
     def adjacent(self, u: int, v: int) -> bool:
         """Whether an edge ``(u, v)`` exists."""
-        return v in self._neighbor_sets[u]
+        return bool((self._nbr_bits[u] >> v) & 1)
 
     # ------------------------------------------------------------------
     # Edges
@@ -191,7 +285,7 @@ class LabeledGraph:
 
     def edge_endpoints(self, eid: int) -> tuple[int, int]:
         """Endpoints ``(u, v)`` of edge ``eid`` with ``u < v``."""
-        return self._edge_endpoints[eid]
+        return (self._edge_u[eid], self._edge_v[eid])
 
     def edge_label(self, eid: int) -> int:
         """Label of edge ``eid``."""
@@ -200,27 +294,62 @@ class LabeledGraph:
     @property
     def edge_labels(self) -> tuple[int, ...]:
         """Tuple of all edge labels indexed by edge id."""
-        return self._edge_labels
+        return tuple(self._edge_labels)
+
+    @property
+    def uniform_edge_label(self) -> int | None:
+        """The single edge label shared by every edge, or ``None`` if mixed.
+
+        ``0`` (the null label) for edge-less graphs.  Hot back-edge checks
+        use this to skip the edge-id lookup entirely on unlabeled graphs:
+        adjacency alone decides, because every present edge carries the
+        one label.
+        """
+        return self._uniform_edge_label
+
+    def edge_between(self, u: int, v: int) -> int | None:
+        """Edge id of the edge between ``u`` and ``v``, or ``None``.
+
+        A bisect into the smaller endpoint's sorted CSR neighbor row;
+        endpoints must be valid vertex ids.
+        """
+        offsets = self._offsets
+        if offsets[u + 1] - offsets[u] > offsets[v + 1] - offsets[v]:
+            u, v = v, u
+        lo = offsets[u]
+        hi = offsets[u + 1]
+        i = bisect_left(self._nbr_all, v, lo, hi)
+        if i < hi and self._nbr_all[i] == v:
+            return self._nbr_edge_all[i]
+        return None
 
     def edge_id(self, u: int, v: int) -> int:
         """Edge id of the edge between ``u`` and ``v``.
 
         Raises :class:`GraphError` if no such edge exists; use
-        :meth:`adjacent` first when absence is expected.
+        :meth:`adjacent` (or :meth:`edge_between`) first when absence is
+        expected.
         """
-        key = (u, v) if u < v else (v, u)
         try:
-            return self._edge_index[key]
-        except KeyError:
+            eid = self.edge_between(u, v)
+        except IndexError:
             raise GraphError(f"no edge between {u} and {v}") from None
+        if eid is None:
+            raise GraphError(f"no edge between {u} and {v}")
+        return eid
 
-    def incident_edges(self, v: int) -> tuple[int, ...]:
+    def incident_edges(self, v: int) -> Sequence[int]:
         """Edge ids incident to vertex ``v``, sorted ascending."""
-        return self._incident_edges[v]
+        return self._inc_views[v]
+
+    def incident_bits(self, v: int) -> int:
+        """Incident edge ids of ``v`` as a big-int bitset over edge ids."""
+        return self._inc_bits[v]
 
     def edge_other_endpoint(self, eid: int, v: int) -> int:
         """The endpoint of ``eid`` that is not ``v``."""
-        u, w = self._edge_endpoints[eid]
+        u = self._edge_u[eid]
+        w = self._edge_v[eid]
         if v == u:
             return w
         if v == w:
@@ -232,40 +361,44 @@ class LabeledGraph:
     # ------------------------------------------------------------------
     def vertex_label_histogram(self) -> dict[int, int]:
         """Mapping ``label -> number of vertices`` carrying it."""
-        histogram: dict[int, int] = {}
-        for label in self._vertex_labels:
-            histogram[label] = histogram.get(label, 0) + 1
-        return histogram
+        return {label: len(ids) for label, ids in self._label_index.items()}
 
     # ------------------------------------------------------------------
     # Structure helpers
     # ------------------------------------------------------------------
     def induced_edge_ids(self, vertex_set: Iterable[int]) -> list[int]:
-        """Edge ids of the subgraph induced by ``vertex_set``, sorted."""
-        members = set(vertex_set)
-        found: list[int] = []
-        for v in members:
-            for eid in self._incident_edges[v]:
-                u, w = self._edge_endpoints[eid]
-                if u in members and w in members and v == u:
-                    found.append(eid)
-        found.sort()
-        return found
+        """Edge ids of the subgraph induced by ``vertex_set``, sorted.
+
+        Pure bitset arithmetic: an edge is induced iff it appears in the
+        incident-edge bitsets of two members, so one pass accumulating
+        "seen once" / "seen twice" masks finds them all; decoding the
+        twice-mask yields edge ids ascending.
+        """
+        inc_bits = self._inc_bits
+        once = 0
+        both = 0
+        for v in set(vertex_set):
+            bits = inc_bits[v]
+            both |= once & bits
+            once |= bits
+        return list(from_bitset(both))
 
     def is_connected_vertex_set(self, vertex_ids: Sequence[int]) -> bool:
         """Whether ``vertex_ids`` induces a connected subgraph."""
         if not vertex_ids:
             return False
-        members = set(vertex_ids)
-        stack = [next(iter(members))]
-        seen = {stack[0]}
+        members = to_bitset(vertex_ids)
+        nbr_bits = self._nbr_bits
+        start = members & -members
+        seen = start
+        stack = [start.bit_length() - 1]
         while stack:
             v = stack.pop()
-            for u in self._neighbors[v]:
-                if u in members and u not in seen:
-                    seen.add(u)
-                    stack.append(u)
-        return len(seen) == len(members)
+            fresh = nbr_bits[v] & members & ~seen
+            if fresh:
+                seen |= fresh
+                stack.extend(from_bitset(fresh))
+        return seen == members
 
     def connected_components(self) -> list[list[int]]:
         """Connected components as sorted vertex-id lists."""
@@ -279,7 +412,7 @@ class LabeledGraph:
             stack = [start]
             while stack:
                 v = stack.pop()
-                for u in self._neighbors[v]:
+                for u in self._nbr_views[v]:
                     if not seen[u]:
                         seen[u] = True
                         component.append(u)
@@ -302,12 +435,34 @@ class LabeledGraph:
             return NotImplemented
         return (
             self._vertex_labels == other._vertex_labels
-            and self._edge_endpoints == other._edge_endpoints
+            and self._edge_u == other._edge_u
+            and self._edge_v == other._edge_v
             and self._edge_labels == other._edge_labels
         )
 
     def __hash__(self) -> int:
-        return hash((self._vertex_labels, self._edge_endpoints, self._edge_labels))
+        return hash(
+            (
+                self._vertex_labels.tobytes(),
+                self._edge_u.tobytes(),
+                self._edge_v.tobytes(),
+                self._edge_labels.tobytes(),
+            )
+        )
+
+    def __reduce__(self):
+        # memoryview slots are not picklable; rebuild from the defining
+        # data instead (the spawn-mode process backend pickles the graph
+        # inside StepContext — fork inherits it copy-on-write).
+        return (
+            LabeledGraph,
+            (
+                self._vertex_labels.tolist(),
+                list(zip(self._edge_u, self._edge_v)),
+                self._edge_labels.tolist(),
+                self._name,
+            ),
+        )
 
     def relabel(
         self, vertex_labels: Mapping[int, int] | Sequence[int]
@@ -326,10 +481,12 @@ class LabeledGraph:
             if len(labels) != self.num_vertices:
                 raise GraphError("label sequence length must match vertex count")
         return LabeledGraph(
-            labels, self._edge_endpoints, self._edge_labels, name=self._name
+            labels,
+            list(zip(self._edge_u, self._edge_v)),
+            self._edge_labels,
+            name=self._name,
         )
 
     def edge_iter(self) -> Iterator[tuple[int, int, int]]:
         """Iterate ``(eid, u, v)`` triples in edge-id order."""
-        for eid, (u, v) in enumerate(self._edge_endpoints):
-            yield eid, u, v
+        return zip(range(self.num_edges), self._edge_u, self._edge_v)

@@ -35,6 +35,7 @@ from .fsm_guide import (
 from .guided import (
     guided_candidates,
     guided_extension_check,
+    guided_survivors,
     match_mapping,
     plan_checker,
 )
@@ -66,6 +67,7 @@ __all__ = [
     "domain_sets_from_matches",
     "guided_candidates",
     "guided_extension_check",
+    "guided_survivors",
     "label_triples",
     "match_mapping",
     "mni_support_from_domains",

@@ -46,6 +46,7 @@ from typing import Sequence
 
 from ..core.pattern import Pattern
 from ..graph import LabeledGraph
+from ..graph.bitset import from_bitset
 from .guided import guided_extension_check
 from .planner import MatchingPlan, PlanError, compile_plan, restrict_plan
 
@@ -67,11 +68,13 @@ class DagNode:
     vertex_label: int
     #: ``(earlier position, required edge label)`` back-edges (shared).
     back_edges: tuple[tuple[int, int], ...]
-    #: Union of the member whitelists routed through this node (``None``
-    #: when any member is unrestricted here).  Pool pruning only — each
-    #: member plan still enforces its own exact whitelist, so using the
-    #: union never loses a match and never admits one.
-    allowed: frozenset[int] | None = None
+    #: Union of the member whitelists routed through this node, as a
+    #: big-int bitset over vertex ids (``None`` when any member is
+    #: unrestricted here).  Pool pruning only — each member plan still
+    #: enforces its own exact whitelist, so using the union never loses
+    #: a match and never admits one.  Bitset form keeps the union a
+    #: single ``|`` and the pool intersection a single ``&``.
+    allowed: int | None = None
 
 
 @dataclass(frozen=True)
@@ -301,13 +304,14 @@ def _with_node_whitelists(dag: PlanDAG) -> PlanDAG:
 
 def restrict_dag(
     dag: PlanDAG,
-    allowed_by_pattern: dict[Pattern, dict[int, frozenset[int]]],
+    allowed_by_pattern: dict[Pattern, dict],
 ) -> PlanDAG:
     """A copy of ``dag`` with per-pattern vertex whitelists overlaid.
 
     ``allowed_by_pattern`` maps member patterns to the per-pattern-vertex
-    whitelists :func:`repro.plan.planner.restrict_plan` takes; members
-    absent from the dict run unrestricted.  The trie structure, matching
+    whitelists :func:`repro.plan.planner.restrict_plan` takes (iterables
+    of vertex ids or pre-packed bitset ints); members absent from the
+    dict run unrestricted.  The trie structure, matching
     orders, and symmetry restrictions are reused unchanged (no
     recompilation — the point of caching DAGs by pattern batch); node
     pool whitelists are recomputed as the member unions.  Soundness is
@@ -387,31 +391,31 @@ def dag_extendable(
 
 def dag_step_zero_pool(
     dag: PlanDAG, graph: LabeledGraph
-) -> Sequence[int]:
+) -> tuple[int, ...]:
     """The DAG's step-0 candidate pool: the union of its root pools.
 
-    One pool per distinct root node (whitelist when every member routed
-    through it is whitelisted, else the node label's index — mirroring
-    :func:`repro.plan.guided.step_zero_pool`), merged sorted-unique so
-    every worker partitions the identical sequence and shared roots are
-    scanned once instead of once per pattern.
+    One bitset per distinct root node (whitelist when every member
+    routed through it is whitelisted, else the node label's index —
+    mirroring :func:`repro.plan.guided.step_zero_pool`), OR-ed together
+    and decoded ascending, so every worker partitions the identical
+    sorted tuple and shared roots are scanned once instead of once per
+    pattern.
     """
-    pools = []
-    for node_id in sorted({path[0] for path in dag.paths}):
-        node = dag.nodes[node_id]
+    roots = sorted({path[0] for path in dag.paths})
+    if len(roots) == 1:
+        node = dag.nodes[roots[0]]
         if node.allowed is not None:
-            pools.append(tuple(sorted(node.allowed)))
-            continue
-        pool = graph.vertices_with_label(node.vertex_label)
-        if len(pool) == graph.num_vertices:
-            pool = graph.vertices()
-        pools.append(pool)
-    if len(pools) == 1:
-        return pools[0]
-    merged: set[int] = set()
-    for pool in pools:
-        merged.update(pool)
-    return tuple(sorted(merged))
+            return from_bitset(node.allowed)
+        return graph.vertices_with_label(node.vertex_label)
+    merged = 0
+    for node_id in roots:
+        node = dag.nodes[node_id]
+        merged |= (
+            node.allowed
+            if node.allowed is not None
+            else graph.label_bits(node.vertex_label)
+        )
+    return from_bitset(merged)
 
 
 def _pool_for_nodes(
@@ -420,10 +424,16 @@ def _pool_for_nodes(
     words: tuple[int, ...],
     live_nodes: Sequence[int],
 ) -> Sequence[int]:
-    """Merged sorted-unique candidate pool of the given trie nodes."""
+    """Merged sorted-unique candidate pool of the given trie nodes.
+
+    Per-node pools are neighbor (or whitelist/label) bitsets; merging is
+    one ``|`` per node and one ascending decode — no set churn.  The
+    single-node unrestricted case returns the anchor's CSR row directly.
+    """
     if not live_nodes:
         return ()
-    pools = []
+    merged = 0
+    single = len(live_nodes) == 1
     for node_id in live_nodes:
         node = dag.nodes[node_id]
         if not node.back_edges:
@@ -432,24 +442,23 @@ def _pool_for_nodes(
             # violated invariant must fail loudly rather than quietly
             # degrade into an inflated pool.
             assert not words, "back-edge-less DAG node reached mid-plan"
-            pools.append(dag_step_zero_pool(dag, graph))
+            merged |= (
+                node.allowed
+                if node.allowed is not None
+                else graph.label_bits(node.vertex_label)
+            )
             continue
         anchor = min(
             (words[earlier] for earlier, _ in node.back_edges),
             key=lambda vertex: (graph.degree(vertex), vertex),
         )
-        neighbors = graph.neighbors(anchor)
         if node.allowed is None:
-            pools.append(neighbors)
+            if single:
+                return graph.neighbors(anchor)
+            merged |= graph.neighbor_bits(anchor)
         else:
-            allowed = node.allowed
-            pools.append(tuple(word for word in neighbors if word in allowed))
-    if len(pools) == 1:
-        return pools[0]
-    merged: set[int] = set()
-    for pool in pools:
-        merged.update(pool)
-    return tuple(sorted(merged))
+            merged |= graph.neighbor_bits(anchor) & node.allowed
+    return from_bitset(merged)
 
 
 def dag_candidates(
@@ -533,12 +542,18 @@ def _node_structural_ok(
         return False
     if word in parent_words:
         return False
-    for earlier, edge_label in node.back_edges:
-        matched = parent_words[earlier]
-        if not graph.adjacent(word, matched):
-            return False
-        if graph.edge_label(graph.edge_id(word, matched)) != edge_label:
-            return False
+    if node.back_edges:
+        word_bits = graph.neighbor_bits(word)
+        uniform = graph.uniform_edge_label
+        for earlier, edge_label in node.back_edges:
+            matched = parent_words[earlier]
+            if not (word_bits >> matched) & 1:
+                return False
+            if uniform is not None:
+                if edge_label != uniform:
+                    return False
+            elif graph.edge_label(graph.edge_between(word, matched)) != edge_label:
+                return False
     return True
 
 
@@ -551,11 +566,13 @@ def _member_residual_ok(
 ) -> bool:
     """The per-member half: whitelist, induced non-edges, restrictions."""
     step = plan.steps[depth]
-    if step.allowed is not None and word not in step.allowed:
+    allowed = step.allowed
+    if allowed is not None and not (allowed >> word) & 1:
         return False
-    if plan.induced:
+    if plan.induced and step.back_non_edges:
+        word_bits = graph.neighbor_bits(word)
         for earlier in step.back_non_edges:
-            if graph.adjacent(word, parent_words[earlier]):
+            if (word_bits >> parent_words[earlier]) & 1:
                 return False
     for earlier in step.must_exceed:
         if parent_words[earlier] >= word:

@@ -13,7 +13,11 @@ check.  The guided path replaces both:
   induced semantics, and the symmetry-breaking order restrictions).  The
   restrictions make the check a *uniqueness* guarantee: every occurrence
   of the query is generated through exactly one word sequence, which is
-  why the guided path needs no embedding canonicality check.
+  why the guided path needs no embedding canonicality check;
+* :func:`guided_survivors` fuses both into the form the runtime's step
+  tasks actually execute: the whole constraint battery collapses into
+  one chain of big-int ``&`` ops over the graph's bitsets, decoded to
+  sorted vertex order once per embedding.
 
 Both functions are pure and operate on ``(plan, graph, words)`` only, so
 the runtime's step tasks can call them from any backend.  The check is
@@ -33,6 +37,7 @@ from __future__ import annotations
 from typing import Callable, Sequence
 
 from ..graph import LabeledGraph
+from ..graph.bitset import from_bitset, to_bitset
 from .planner import MatchingPlan
 
 
@@ -41,8 +46,10 @@ def guided_candidates(
 ) -> Sequence[int]:
     """Candidate pool for extending a partial match by one plan step.
 
-    Returns a sorted sequence of graph vertices (the anchor's adjacency
-    list, which :class:`~repro.graph.LabeledGraph` keeps sorted), so
+    Returns a sorted sequence of graph vertices — the anchor's CSR
+    adjacency row, or for a domain-restricted step (guided FSM) the
+    decoded single-``&`` intersection of the anchor's neighbor bitset
+    with the step whitelist.  Bitsets decode in ascending id order, so
     guided exploration stays deterministic across runs, workers, and
     backends exactly like the exhaustive generator.
     """
@@ -57,32 +64,23 @@ def guided_candidates(
         (words[earlier] for earlier, _ in step.back_edges),
         key=lambda vertex: (graph.degree(vertex), vertex),
     )
-    neighbors = graph.neighbors(anchor)
     if step.allowed is None:
-        return neighbors
-    # Domain-restricted step (guided FSM): the pool is the anchor
-    # neighborhood intersected with the step's whitelist, preserving the
-    # sorted neighbor order so determinism is untouched.
-    allowed = step.allowed
-    return tuple(word for word in neighbors if word in allowed)
+        return graph.neighbors(anchor)
+    return from_bitset(graph.neighbor_bits(anchor) & step.allowed)
 
 
-def step_zero_pool(plan: MatchingPlan, graph: LabeledGraph) -> Sequence[int]:
-    """The candidate pool for a plan's first step.
+def step_zero_pool(plan: MatchingPlan, graph: LabeledGraph) -> tuple[int, ...]:
+    """The candidate pool for a plan's first step, always a sorted tuple.
 
     A whitelisted first step (guided FSM pushing parent domains down)
-    draws from its whitelist; otherwise the pool is the graph's label
-    index for the step's required label — both sorted ascending, so
-    every worker partitions the identical sequence.  Falls back to all
-    vertices only when the index would be the whole graph anyway.
+    decodes its whitelist bitset; otherwise the pool is the graph's
+    eager label index for the step's required label — both ascending,
+    so every worker partitions the identical sequence.
     """
     first = plan.steps[0]
     if first.allowed is not None:
-        return tuple(sorted(first.allowed))
-    pool = graph.vertices_with_label(first.vertex_label)
-    if len(pool) == graph.num_vertices:
-        return graph.vertices()
-    return pool
+        return from_bitset(first.allowed)
+    return graph.vertices_with_label(first.vertex_label)
 
 
 def guided_extension_check(
@@ -103,19 +101,33 @@ def guided_extension_check(
     step = plan.steps[position]
     if graph.vertex_label(word) != step.vertex_label:
         return False
-    if step.allowed is not None and word not in step.allowed:
+    allowed = step.allowed
+    if allowed is not None and not (allowed >> word) & 1:
         return False
     if word in parent_words:
         return False
-    for earlier, edge_label in step.back_edges:
-        matched = parent_words[earlier]
-        if not graph.adjacent(word, matched):
-            return False
-        if graph.edge_label(graph.edge_id(word, matched)) != edge_label:
-            return False
-    if plan.induced:
+    if step.back_edges:
+        word_bits = graph.neighbor_bits(word)
+        uniform = graph.uniform_edge_label
+        for earlier, edge_label in step.back_edges:
+            matched = parent_words[earlier]
+            if not (word_bits >> matched) & 1:
+                return False
+            # On a uniformly-labeled graph adjacency already implies the
+            # edge label, so the edge-id lookup is skipped entirely.
+            if uniform is not None:
+                if edge_label != uniform:
+                    return False
+            elif graph.edge_label(graph.edge_between(word, matched)) != edge_label:
+                return False
+        if plan.induced:
+            for earlier in step.back_non_edges:
+                if (word_bits >> parent_words[earlier]) & 1:
+                    return False
+    elif plan.induced and step.back_non_edges:
+        word_bits = graph.neighbor_bits(word)
         for earlier in step.back_non_edges:
-            if graph.adjacent(word, parent_words[earlier]):
+            if (word_bits >> parent_words[earlier]) & 1:
                 return False
     for earlier in step.must_exceed:
         if parent_words[earlier] >= word:
@@ -124,6 +136,85 @@ def guided_extension_check(
         if parent_words[earlier] <= word:
             return False
     return True
+
+
+def guided_survivors(
+    plan: MatchingPlan, graph: LabeledGraph, words: tuple[int, ...]
+) -> tuple[int, tuple[int, ...]]:
+    """Candidate pool size + surviving extensions, fused into bitset algebra.
+
+    Equivalent to filtering :func:`guided_candidates` through
+    :func:`guided_extension_check` word by word, but the whole per-step
+    constraint battery — whitelist, vertex label, back-edge adjacency,
+    induced back-non-edges, injectivity, symmetry-breaking order
+    restrictions — collapses into one chain of big-int ``&`` ops over the
+    graph's precomputed bitsets, decoded to sorted vertex order once at
+    the end.  Only per-edge *label* confirmation still walks individual
+    candidates, and only on graphs with mixed edge labels
+    (:attr:`~repro.graph.LabeledGraph.uniform_edge_label` short-circuits
+    the uniform case to pure bit math).
+
+    Returns ``(num_candidates, survivors)``: the size of the pool
+    :func:`guided_candidates` would have produced (the engine's
+    machine-independent exploration metric) and the words whose extension
+    passes the plan check, ascending — so emission order, and with it
+    result byte-identity across backends, is untouched.
+    """
+    position = len(words)
+    if position >= plan.num_steps:
+        return 0, ()
+    step = plan.steps[position]
+    if not step.back_edges:
+        # Step 0: the pool is the whitelist or the label index; only the
+        # label constraint can reject (no earlier positions exist yet).
+        if step.allowed is None:
+            pool = step_zero_pool(plan, graph)
+            return len(pool), pool
+        return step.allowed.bit_count(), from_bitset(
+            step.allowed & graph.label_bits(step.vertex_label)
+        )
+    anchor = min(
+        (words[earlier] for earlier, _ in step.back_edges),
+        key=lambda vertex: (graph.degree(vertex), vertex),
+    )
+    bits = graph.neighbor_bits(anchor)
+    if step.allowed is not None:
+        bits &= step.allowed
+    num_candidates = bits.bit_count()
+    if not bits:
+        return 0, ()
+    # Order restrictions first: they truncate the bitset's magnitude, so
+    # every later ``&`` runs on fewer machine words.
+    if step.must_precede:
+        bits &= (1 << min(words[earlier] for earlier in step.must_precede)) - 1
+    if step.must_exceed:
+        bits &= -1 << (max(words[earlier] for earlier in step.must_exceed) + 1)
+    bits &= graph.label_bits(step.vertex_label)
+    for earlier, _ in step.back_edges:
+        bits &= graph.neighbor_bits(words[earlier])
+    if plan.induced:
+        for earlier in step.back_non_edges:
+            bits &= ~graph.neighbor_bits(words[earlier])
+    if bits:
+        bits &= ~to_bitset(words)
+    if not bits:
+        return num_candidates, ()
+    uniform = graph.uniform_edge_label
+    if uniform is not None:
+        for _, edge_label in step.back_edges:
+            if edge_label != uniform:
+                return num_candidates, ()
+        return num_candidates, from_bitset(bits)
+    survivors = tuple(
+        word
+        for word in from_bitset(bits)
+        if all(
+            graph.edge_label(graph.edge_between(word, words[earlier]))
+            == edge_label
+            for earlier, edge_label in step.back_edges
+        )
+    )
+    return num_candidates, survivors
 
 
 def plan_checker(

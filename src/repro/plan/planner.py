@@ -25,8 +25,10 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
+from typing import Iterable
 
 from ..core.pattern import Pattern
+from ..graph.bitset import to_bitset
 from .symmetry import symmetry_breaking_restrictions
 
 
@@ -56,12 +58,16 @@ class PlanStep:
     #: Earlier positions whose matched vertex id must be *larger* than
     #: the candidate (restrictions ``m(this) < m(earlier)``).
     must_precede: tuple[int, ...]
-    #: Optional whitelist of graph vertices this step may match (``None``
-    #: = unrestricted).  Guided FSM pushes a candidate pattern's parent
-    #: MNI domains down here (:func:`restrict_plan`), GraMi-style: every
-    #: full match maps inherited pattern vertices into the parent's
-    #: domains, so pruning against them loses nothing.
-    allowed: frozenset[int] | None = None
+    #: Optional whitelist of graph vertices this step may match, as a
+    #: big-int bitset over vertex ids (``None`` = unrestricted; ``0`` =
+    #: empty whitelist, which blocks everything).  Guided FSM pushes a
+    #: candidate pattern's parent MNI domains down here
+    #: (:func:`restrict_plan`), GraMi-style: every full match maps
+    #: inherited pattern vertices into the parent's domains, so pruning
+    #: against them loses nothing.  The bitset form makes the hot pool
+    #: intersection in :func:`repro.plan.guided.guided_candidates` a
+    #: single ``&``.
+    allowed: int | None = None
 
 
 @dataclass(frozen=True)
@@ -93,7 +99,7 @@ class MatchingPlan:
         order = ",".join(map(str, self.order))
         rules = " ".join(f"m({u})<m({v})" for u, v in self.restrictions)
         sizes = ",".join(
-            f"{step.position}:{len(step.allowed)}"
+            f"{step.position}:{step.allowed.bit_count()}"
             for step in self.steps
             if step.allowed is not None
         )
@@ -253,20 +259,33 @@ def compile_plan(
 
 
 def restrict_plan(
-    plan: MatchingPlan, allowed_by_vertex: dict[int, frozenset[int]]
+    plan: MatchingPlan,
+    allowed_by_vertex: dict[int, Iterable[int] | int],
 ) -> MatchingPlan:
     """A copy of ``plan`` whose steps only match whitelisted vertices.
 
     ``allowed_by_vertex`` maps pattern vertices to the graph vertices
-    they may be assigned (vertices absent from the dict stay
-    unrestricted).  The compiled order, constraints, and symmetry
-    restrictions are reused unchanged, so restricting a cached plan
-    costs no recompilation; soundness is the caller's contract — the
-    whitelists must cover every image the unrestricted plan could
-    produce (guided FSM derives them from complete parent domains).
+    they may be assigned — as any iterable of vertex ids (guided FSM
+    passes frozenset domains) or an already-packed bitset ``int``;
+    vertices absent from the dict stay unrestricted.  Whitelists are
+    stored on the steps in bitset form (:mod:`repro.graph.bitset`).  The
+    compiled order, constraints, and symmetry restrictions are reused
+    unchanged, so restricting a cached plan costs no recompilation;
+    soundness is the caller's contract — the whitelists must cover every
+    image the unrestricted plan could produce (guided FSM derives them
+    from complete parent domains).
     """
     steps = tuple(
-        dataclasses.replace(step, allowed=allowed_by_vertex.get(step.pattern_vertex))
+        dataclasses.replace(
+            step, allowed=_as_bitset(allowed_by_vertex.get(step.pattern_vertex))
+        )
         for step in plan.steps
     )
     return dataclasses.replace(plan, steps=steps)
+
+
+def _as_bitset(allowed: Iterable[int] | int | None) -> int | None:
+    """Normalize a whitelist value to its bitset form (``None`` passes)."""
+    if allowed is None or isinstance(allowed, int):
+        return allowed
+    return to_bitset(allowed)

@@ -23,12 +23,14 @@ processes while producing byte-identical results:
   binding (``bind_context``) never races between threads.
 
 When the context carries a guided :class:`~repro.plan.MatchingPlan`, the
-expansion swaps its two hot pieces: candidates come from the plan's anchor
-neighborhoods (:func:`repro.plan.guided.guided_candidates`) instead of the
-whole frontier, and the per-candidate acceptance test is the plan's
-label/adjacency/symmetry check instead of Algorithm 2 — the plan's
-ordering restrictions already guarantee each occurrence is generated
-exactly once, so no canonicality check is needed.  A multi-query
+expansion swaps its two hot pieces for ONE fused kernel
+(:func:`repro.plan.guided.guided_survivors`): the candidate pool is the
+plan's anchor neighborhood bitset (``&``-ed with the step whitelist when
+one is set) instead of the whole frontier, and the per-candidate
+label/adjacency/symmetry acceptance test collapses into the same chain
+of big-int ``&`` ops, decoded to sorted id order once per embedding —
+the plan's ordering restrictions already guarantee each occurrence is
+generated exactly once, so no canonicality check is needed.  A multi-query
 :class:`~repro.plan.PlanDAG` generalizes the same two pieces from one
 step to a *set of active DAG nodes* per embedding: the pool is the
 deduplicated union of the surviving patterns' next anchor neighborhoods
@@ -57,8 +59,8 @@ from ..core.results import StepStats, WorkerDelta
 from ..core.storage import EmbeddingStore, LIST_STORAGE, ListStore, OdagStore
 from ..plan.dag import PlanDAG, bound_stepper
 from ..plan.guided import (
-    guided_candidates,
     guided_extension_check,
+    guided_survivors,
     plan_checker,
 )
 from ..plan.planner import MatchingPlan
@@ -322,8 +324,11 @@ def _expansion_pass(
             def generate(words: tuple[int, ...]):
                 return extensions(graph, mode, words)
         else:
-            def generate(words: tuple[int, ...]):
-                return guided_candidates(plan, graph, words)
+            # Guided runs use the fused bitset kernel: pool generation
+            # AND the per-candidate plan check collapse into one chain
+            # of ``&`` ops per embedding (plan_checker stays in use for
+            # the ODAG prefix filter above).
+            generate = None
     profile = context.profile_phases
     verify_pattern = context.storage != LIST_STORAGE
     stats = delta.counters
@@ -374,7 +379,25 @@ def _expansion_pass(
             continue
         computation.aggregation_process(embedding)
 
-        if profile:
+        if generate is None:
+            # Fused guided kernel: candidate generation and the plan
+            # check happen inside one bitset intersection chain; the
+            # returned words are already the survivors, so the loop
+            # below skips the per-word check entirely.
+            if profile:
+                t0 = time.perf_counter()
+                num_candidates, candidate_words = guided_survivors(
+                    plan, graph, words
+                )
+                _add_phase(phase_seconds, "G", time.perf_counter() - t0)
+            else:
+                num_candidates, candidate_words = guided_survivors(
+                    plan, graph, words
+                )
+            stats.candidates_generated += num_candidates
+            work += num_candidates
+            stats.canonical_candidates += len(candidate_words)
+        elif profile:
             t0 = time.perf_counter()
             candidate_words = generate(words)
             _add_phase(phase_seconds, "G", time.perf_counter() - t0)
@@ -382,17 +405,18 @@ def _expansion_pass(
             candidate_words = generate(words)
 
         for word in candidate_words:
-            stats.candidates_generated += 1
-            work += 1
-            if profile:
-                t0 = time.perf_counter()
-                canonical = check_extension(graph, words, word)
-                _add_phase(phase_seconds, "C", time.perf_counter() - t0)
-            else:
-                canonical = check_extension(graph, words, word)
-            if not canonical:
-                continue
-            stats.canonical_candidates += 1
+            if generate is not None:
+                stats.candidates_generated += 1
+                work += 1
+                if profile:
+                    t0 = time.perf_counter()
+                    canonical = check_extension(graph, words, word)
+                    _add_phase(phase_seconds, "C", time.perf_counter() - t0)
+                else:
+                    canonical = check_extension(graph, words, word)
+                if not canonical:
+                    continue
+                stats.canonical_candidates += 1
             child = embedding.extend(word)
             if not computation.filter(child):
                 continue

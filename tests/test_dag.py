@@ -36,7 +36,13 @@ from repro.apps import (
 )
 from repro.core import ArabesqueConfig, Computation, Pattern, run_computation
 from repro.core.embedding import VERTEX_EXPLORATION
-from repro.graph import LabeledGraph, assign_labels, gnm_random_graph, strip_labels
+from repro.graph import (
+    LabeledGraph,
+    assign_labels,
+    from_bitset,
+    gnm_random_graph,
+    strip_labels,
+)
 from repro.isomorphism import SubgraphMatcher
 from repro.plan import (
     NAMED_SHAPES,
@@ -183,11 +189,11 @@ class TestRestrictDag:
                 triangle: {0: frozenset({2, 3})},
             },
         )
-        # Member plans carry their own exact whitelists...
+        # Member plans carry their own exact whitelists (bitset form)...
         for plan, pattern in zip(restricted.plans, batch):
             by_vertex = {s.pattern_vertex: s.allowed for s in plan.steps}
-            expected = {wedge: {1, 2}, triangle: {2, 3}}[pattern]
-            assert by_vertex[0] == frozenset(expected)
+            expected = {wedge: (1, 2), triangle: (2, 3)}[pattern]
+            assert from_bitset(by_vertex[0]) == expected
         # ...while a shared node's pool whitelist is the union when every
         # member is restricted there, and None as soon as one is not.
         whitelisted = {
@@ -196,7 +202,7 @@ class TestRestrictDag:
             if node.allowed is not None
         }
         assert all(
-            allowed <= frozenset({1, 2, 3}) for allowed in whitelisted
+            set(from_bitset(allowed)) <= {1, 2, 3} for allowed in whitelisted
         )
         # The base DAG is untouched (cache safety).
         assert all(node.allowed is None for node in dag.nodes)

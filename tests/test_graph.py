@@ -2,11 +2,14 @@
 
 import pytest
 
+import pickle
+
 from repro.graph import (
     GraphError,
     LabeledGraph,
     complete_graph,
     cycle_graph,
+    from_bitset,
     graph_from_edges,
     grid_graph,
     path_graph,
@@ -73,10 +76,17 @@ class TestAccessors:
         assert triangle_with_tail.vertex_labels == (5, 6, 7, 8)
 
     def test_neighbors_sorted(self, triangle_with_tail):
-        assert triangle_with_tail.neighbors(2) == (0, 1, 3)
+        assert tuple(triangle_with_tail.neighbors(2)) == (0, 1, 3)
 
-    def test_neighbor_set(self, triangle_with_tail):
-        assert triangle_with_tail.neighbor_set(0) == frozenset({1, 2})
+    def test_neighbor_bits(self, triangle_with_tail):
+        assert from_bitset(triangle_with_tail.neighbor_bits(0)) == (1, 2)
+
+    def test_label_bits_match_index(self, triangle_with_tail):
+        for label in (5, 6, 7, 8):
+            assert from_bitset(triangle_with_tail.label_bits(label)) == (
+                triangle_with_tail.vertices_with_label(label)
+            )
+        assert triangle_with_tail.label_bits(99) == 0
 
     def test_degree(self, triangle_with_tail):
         assert triangle_with_tail.degree(2) == 3
@@ -103,7 +113,24 @@ class TestAccessors:
         assert triangle_with_tail.edge_labels == (10, 11, 12, 13)
 
     def test_incident_edges(self, triangle_with_tail):
-        assert triangle_with_tail.incident_edges(2) == (1, 2, 3)
+        assert tuple(triangle_with_tail.incident_edges(2)) == (1, 2, 3)
+
+    def test_incident_bits(self, triangle_with_tail):
+        assert from_bitset(triangle_with_tail.incident_bits(2)) == (1, 2, 3)
+
+    def test_edge_between(self, triangle_with_tail):
+        assert triangle_with_tail.edge_between(1, 2) == 1
+        assert triangle_with_tail.edge_between(2, 1) == 1
+        assert triangle_with_tail.edge_between(0, 3) is None
+
+    def test_uniform_edge_label(self, triangle_with_tail):
+        assert triangle_with_tail.uniform_edge_label is None
+        unlabeled = LabeledGraph([0, 0], [(0, 1)])
+        assert unlabeled.uniform_edge_label == 0
+        assert LabeledGraph([0], []).uniform_edge_label == 0
+
+    def test_memory_nbytes_positive(self, triangle_with_tail):
+        assert triangle_with_tail.memory_nbytes() > 0
 
     def test_edge_other_endpoint(self, triangle_with_tail):
         assert triangle_with_tail.edge_other_endpoint(3, 2) == 3
@@ -161,6 +188,13 @@ class TestStructureHelpers:
     def test_relabel_rejects_bad_length(self, triangle_with_tail):
         with pytest.raises(GraphError):
             triangle_with_tail.relabel([0, 0])
+
+    def test_pickle_round_trip(self, triangle_with_tail):
+        clone = pickle.loads(pickle.dumps(triangle_with_tail))
+        assert clone == triangle_with_tail
+        assert clone.name == triangle_with_tail.name
+        assert tuple(clone.neighbors(2)) == (0, 1, 3)
+        assert clone.edge_label(2) == 12
 
 
 class TestNamedShapes:
