@@ -1,0 +1,179 @@
+"""Service-layer benchmark: cold vs warm cache latency, concurrent throughput.
+
+Boots the real HTTP server in-process (``repro.service.start_in_background``)
+and measures the serving story end to end, over actual sockets:
+
+* **cold vs warm**: the same query first compiles + runs the engine
+  (cache miss), then repeats against the whole-result cache — the warm
+  path must be dramatically cheaper, and its payload byte-identical;
+* **throughput**: a burst of distinct queries issued from concurrent
+  client threads against the bounded worker pool, reported as
+  queries/second alongside the same burst issued sequentially;
+* **budget floor**: one deliberately budget-busted query, to confirm a
+  422 costs roughly a single BSP step rather than a full run.
+
+``BENCH_QUICK=1`` shrinks the graph so CI can smoke-run the bench; the
+machine-readable artifact (``results/BENCH_service.json``) is emitted in
+both modes and CI asserts it exists.  Correctness bars (byte-identical
+warm payloads, every burst query answered, 422 on the busted query) are
+hard-asserted in both modes; only the warm-speedup wall-clock bar is
+waived on quick's tiny graph.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import threading
+import time
+import urllib.error
+import urllib.request
+
+from _harness import report, report_json
+
+from repro.service import MinerRegistry, QueryService, start_in_background
+
+QUICK = os.environ.get("BENCH_QUICK", "") not in ("", "0", "false", "no")
+
+GRAPH_SCALE = 0.05 if QUICK else 0.3
+REPEATS = 3 if QUICK else 10
+BURST_THREADS = 4 if QUICK else 8
+#: Distinct (uncacheable-from-each-other) queries for the burst.
+BURST_QUERIES = [
+    {"workload": "match", "query": shape}
+    for shape in ("triangle", "wedge", "square", "path3", "star3", "tailed-triangle")
+]
+
+
+def call(url: str, body: dict) -> tuple[int, bytes]:
+    request = urllib.request.Request(
+        url, data=json.dumps(body).encode(), method="POST"
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=300) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, error.read()
+
+
+def timed_call(url: str, body: dict) -> tuple[float, int, bytes]:
+    start = time.perf_counter()
+    status, raw = call(url, body)
+    return time.perf_counter() - start, status, raw
+
+
+def main() -> None:
+    registry = MinerRegistry()
+    registry.load_dataset("citeseer", scale=GRAPH_SCALE)
+    service = QueryService(registry, max_concurrent=BURST_THREADS)
+    handle = start_in_background(service)
+    query_url = handle.url + "/query"
+    lines: list[str] = []
+    payload: dict = {"quick": QUICK, "graph_scale": GRAPH_SCALE}
+
+    try:
+        # -- cold vs warm -------------------------------------------------
+        base = {"graph": "citeseer", "workload": "motifs", "max_size": 3}
+        cold_s, status, cold_raw = timed_call(query_url, base)
+        assert status == 200, cold_raw
+        cold = json.loads(cold_raw)
+        assert cold["cache"]["hit"] is False
+        warm_times = []
+        for _ in range(REPEATS):
+            warm_s, status, warm_raw = timed_call(query_url, base)
+            assert status == 200, warm_raw
+            warm = json.loads(warm_raw)
+            assert warm["cache"]["hit"] is True
+            assert warm["result"] == cold["result"]  # byte-identical payload
+            warm_times.append(warm_s)
+        warm_s = statistics.median(warm_times)
+        speedup = cold_s / warm_s
+        lines += [
+            f"cold query   : {cold_s * 1000:8.1f} ms  (engine run)",
+            f"warm query   : {warm_s * 1000:8.1f} ms  (result cache, "
+            f"median of {REPEATS})",
+            f"warm speedup : {speedup:8.1f}x"
+            f"{'  [wall-clock bar waived in quick mode]' if QUICK else ''}",
+        ]
+        payload["cold_ms"] = round(cold_s * 1000, 3)
+        payload["warm_ms"] = round(warm_s * 1000, 3)
+        payload["warm_speedup"] = round(speedup, 2)
+        if not QUICK:
+            assert speedup > 5, f"warm cache speedup only {speedup:.1f}x"
+
+        # -- concurrent throughput ---------------------------------------
+        bursts = [
+            {"graph": "citeseer", **query} for query in BURST_QUERIES
+        ]
+        sequential_s = 0.0
+        for body in bursts:
+            elapsed, status, raw = timed_call(query_url, body)
+            assert status == 200, raw
+            sequential_s += elapsed
+        registry_info = registry.cache_info()
+        # Re-issue the burst concurrently as *misses*: bust the result
+        # cache by varying an execution-neutral semantic field (limit).
+        concurrent_bodies = [dict(body, limit=10**9) for body in bursts]
+        statuses: list[int] = []
+        lock = threading.Lock()
+
+        def worker(body: dict) -> None:
+            status, raw = call(query_url, body)
+            with lock:
+                statuses.append(status)
+
+        start = time.perf_counter()
+        threads = [
+            threading.Thread(target=worker, args=(body,))
+            for body in concurrent_bodies
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        concurrent_s = time.perf_counter() - start
+        assert statuses and all(s == 200 for s in statuses), statuses
+        lines += [
+            f"burst ({len(bursts)} distinct queries):",
+            f"  sequential : {sequential_s * 1000:8.1f} ms "
+            f"({len(bursts) / sequential_s:6.1f} q/s)",
+            f"  concurrent : {concurrent_s * 1000:8.1f} ms "
+            f"({len(bursts) / concurrent_s:6.1f} q/s, "
+            f"{BURST_THREADS} client threads)",
+        ]
+        payload["burst_queries"] = len(bursts)
+        payload["sequential_ms"] = round(sequential_s * 1000, 3)
+        payload["concurrent_ms"] = round(concurrent_s * 1000, 3)
+        payload["result_cache"] = vars(registry_info)
+
+        # -- budget floor -------------------------------------------------
+        busted = {
+            "graph": "citeseer",
+            "workload": "motifs",
+            "max_size": 4,
+            "max_embeddings": 5,
+        }
+        budget_s, status, raw = timed_call(query_url, busted)
+        assert status == 422, raw
+        error = json.loads(raw)["error"]
+        assert error["type"] == "budget_exceeded", error
+        lines.append(
+            f"budget trip  : {budget_s * 1000:8.1f} ms to a 422 "
+            f"(spent {error['spent']:,} embeddings of a {error['limit']} budget)"
+        )
+        payload["budget_trip_ms"] = round(budget_s * 1000, 3)
+    finally:
+        handle.stop()
+
+    report(
+        "BENCH_service",
+        f"Query service: cold vs warm cache, concurrent burst "
+        f"(citeseer scale {GRAPH_SCALE}{', quick' if QUICK else ''})",
+        lines,
+    )
+    report_json("BENCH_service", payload)
+
+
+if __name__ == "__main__":
+    main()

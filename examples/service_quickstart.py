@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Quickstart: the HTTP query service, end to end in one process.
+
+Boots the real asyncio server (`repro.service`) on an ephemeral port
+with one pooled graph, then walks the serving story over actual HTTP:
+
+1. run a motif query cold (engine run) and again warm (whole-result
+   cache hit — same bytes, no recompilation);
+2. show that an equivalent spelling of a match query ("triangle" vs its
+   explicit edge list) lands on the same cache entry;
+3. trip an embedding budget on purpose and read the structured 422;
+4. print the server's cache/admission counters.
+
+See docs/service.md for the full endpoint and semantics reference.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+from repro.service import MinerRegistry, QueryService, start_in_background
+
+
+def post(url: str, body: dict) -> tuple[int, dict]:
+    request = urllib.request.Request(
+        url, data=json.dumps(body).encode(), method="POST"
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=120) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def main() -> None:
+    registry = MinerRegistry()
+    registry.load_dataset("citeseer", scale=0.1)
+    service = QueryService(registry, max_concurrent=2)
+    handle = start_in_background(service)  # ephemeral port, background thread
+    print(f"service up at {handle.url}, graphs: {registry.names()}")
+
+    try:
+        # 1. cold, then warm
+        motifs = {"graph": "citeseer", "max_size": 3}
+        status, cold = post(handle.url + "/motifs", motifs)
+        assert status == 200
+        print(
+            f"cold motifs : {cold['elapsed_ms']:8.1f} ms  "
+            f"cache_hit={cold['cache']['hit']}  "
+            f"motifs={cold['result']['num_motifs']}"
+        )
+        status, warm = post(handle.url + "/motifs", motifs)
+        assert status == 200 and warm["cache"]["hit"]
+        assert warm["result"] == cold["result"]
+        print(
+            f"warm motifs : {warm['elapsed_ms']:8.1f} ms  "
+            f"cache_hit={warm['cache']['hit']}  (same bytes)"
+        )
+
+        # 2. canonical cache keys: two spellings, one entry
+        status, named = post(
+            handle.url + "/match", {"graph": "citeseer", "query": "triangle"}
+        )
+        assert status == 200
+        status, spelled = post(
+            handle.url + "/match",
+            {"graph": "citeseer", "query": {"edges": [[1, 2], [0, 2], [0, 1]]}},
+        )
+        assert status == 200 and spelled["cache"]["hit"]
+        print(
+            f"'triangle' and its explicit edge list share one cache entry "
+            f"({named['result']['num_matches']} matches)"
+        )
+
+        # 3. a budget-busted query fails fast with a structured 422
+        status, busted = post(
+            handle.url + "/motifs",
+            {"graph": "citeseer", "max_size": 4, "max_embeddings": 10},
+        )
+        assert status == 422
+        error = busted["error"]
+        print(
+            f"budget trip : 422 {error['kind']} budget, "
+            f"limit={error['limit']} spent={error['spent']:,}"
+        )
+
+        # 4. the counters behind all of the above
+        with urllib.request.urlopen(handle.url + "/stats", timeout=30) as r:
+            stats = json.loads(r.read())
+        print(f"server      : {stats['server']}")
+        print(f"result cache: {stats['registry']}")
+    finally:
+        handle.stop()
+    print("service stopped")
+
+
+if __name__ == "__main__":
+    main()

@@ -8,6 +8,7 @@ Usage::
     python -m repro fsm             GRAPH --support 100 [--max-edges 3] [--exhaustive]
     python -m repro match           GRAPH QUERY [--exhaustive]
     python -m repro stats           GRAPH
+    python -m repro serve           --graphs GRAPH [GRAPH ...] [--port 8080]
 
 ``GRAPH`` is an edge-list file (see :func:`repro.graph.read_edge_list`) or
 one of the built-in synthetic dataset names (``citeseer``, ``mico``,
@@ -43,27 +44,24 @@ from __future__ import annotations
 
 import argparse
 import sys
-from pathlib import Path
 
 from .core import BACKENDS, SERIAL_BACKEND, STORAGE_MODES
-from .datasets import DATASETS, dataset_statistics
-from .graph import LabeledGraph, read_edge_list
+from .datasets import DATASETS, UnknownDatasetError, dataset_statistics, resolve
+from .graph import LabeledGraph
 from .plan import NAMED_SHAPES
 from .session import Miner, Query
 
 
 def load_graph(spec: str, scale: float | None) -> LabeledGraph:
-    """A dataset name or an edge-list path -> LabeledGraph."""
-    if spec in DATASETS:
-        factory = DATASETS[spec]
-        return factory(scale=scale) if scale is not None else factory()
-    path = Path(spec)
-    if not path.exists():
-        raise SystemExit(
-            f"error: {spec!r} is neither a dataset name "
-            f"({', '.join(sorted(DATASETS))}) nor a readable file"
-        )
-    return read_edge_list(path, name=path.stem)
+    """A dataset name or an edge-list path -> LabeledGraph.
+
+    Thin exit-code shell over :func:`repro.datasets.resolve`, the one
+    shared name/path dispatch (the service registry uses it too).
+    """
+    try:
+        return resolve(spec, scale=scale)
+    except UnknownDatasetError as exc:
+        raise SystemExit(f"error: {exc}")
 
 
 def open_session(args: argparse.Namespace) -> Miner:
@@ -215,6 +213,43 @@ def cmd_match(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    from pathlib import Path
+
+    from .service import MinerRegistry, QueryService, run_forever
+
+    registry = MinerRegistry(
+        memory_limit_nbytes=(
+            None if args.memory_limit_mb is None
+            else int(args.memory_limit_mb * (1 << 20))
+        )
+    )
+    try:
+        for spec in args.graphs:
+            # Dataset names keep their name; file paths pool under their stem.
+            name = spec if spec in DATASETS else Path(spec).stem
+            registry.load(name, load_graph(spec, args.scale))
+        service = QueryService(
+            registry,
+            max_concurrent=args.max_concurrent,
+            max_pending=args.max_pending,
+            default_deadline_seconds=(
+                None if args.deadline_ms is None else args.deadline_ms / 1000.0
+            ),
+            default_max_embeddings=args.max_embeddings,
+        )
+    except ValueError as exc:  # ServiceError/SessionError family
+        raise SystemExit(f"error: {exc}")
+    try:
+        asyncio.run(run_forever(service, args.host, args.port))
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        service.close()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -356,6 +391,35 @@ def build_parser() -> argparse.ArgumentParser:
              "validated against",
     )
     fsm.set_defaults(handler=cmd_fsm)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the HTTP query service (see docs/service.md)",
+    )
+    serve.add_argument(
+        "--graphs", nargs="+", required=True, metavar="GRAPH",
+        help="graphs to pool at startup: dataset names or edge-list "
+             "files (files pool under their stem)",
+    )
+    serve.add_argument("--scale", type=float, default=None,
+                       help="scale factor applied to built-in datasets")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument("--max-concurrent", type=int, default=4,
+                       help="queries running at once (worker-pool width)")
+    serve.add_argument("--max-pending", type=int, default=16,
+                       help="queries allowed to wait for a slot before "
+                            "the server answers 429")
+    serve.add_argument("--deadline-ms", type=float, default=None,
+                       help="default per-query deadline; a request's own "
+                            "deadline_ms overrides it")
+    serve.add_argument("--max-embeddings", type=int, default=None,
+                       help="default per-query embedding budget; a "
+                            "request's own max_embeddings overrides it")
+    serve.add_argument("--memory-limit-mb", type=float, default=None,
+                       help="bound on the pooled graphs' summed memory; "
+                            "loading past it evicts LRU graphs")
+    serve.set_defaults(handler=cmd_serve)
     return parser
 
 

@@ -1,6 +1,7 @@
 """Arabesque core: the filter-process model and its execution techniques."""
 
 from .aggregation import AggregationChannel, LocalAggregation, merge_partials
+from .budget import BudgetExceeded, DEADLINE_BUDGET, EMBEDDING_BUDGET
 from .canonical import (
     canonicalize_edge_set,
     canonicalize_vertex_set,
@@ -47,9 +48,12 @@ __all__ = [
     "ArabesqueConfig",
     "ArabesqueEngine",
     "BACKENDS",
+    "BudgetExceeded",
     "Computation",
     "ComputationContext",
+    "DEADLINE_BUDGET",
     "EDGE_EXPLORATION",
+    "EMBEDDING_BUDGET",
     "EdgeInducedEmbedding",
     "Embedding",
     "EmbeddingStore",

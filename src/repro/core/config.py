@@ -70,6 +70,21 @@ class ArabesqueConfig:
     plan: "MatchingPlan | PlanDAG | None" = None
     #: Safety bound on exploration steps; exceeded = misbehaving filter.
     max_exploration_steps: int = 100
+    #: Cooperative wall-clock budget for the whole run, in seconds.  The
+    #: engine checks it at every BSP step barrier (and worker tasks probe
+    #: it periodically inside a step), raising a loud
+    #: :class:`~repro.core.budget.BudgetExceeded` when elapsed time passes
+    #: the allowance — the query service maps that to a 4xx so one
+    #: pathological query fails fast instead of starving the pool.
+    #: ``None`` (default) runs without a deadline.  An armed-but-untripped
+    #: deadline never changes results.
+    deadline_seconds: float | None = None
+    #: Cooperative cap on *processed* embeddings summed over steps (the
+    #: paper's "embeddings analyzed" figure).  Enforced at the step
+    #: barrier on the merged counters, so the trip point is deterministic
+    #: across backends and worker counts; tripping raises
+    #: :class:`~repro.core.budget.BudgetExceeded`.  ``None`` = unbounded.
+    max_embeddings: int | None = None
     #: Keep outputs in memory.  Large runs can set a cap (counts stay exact).
     collect_outputs: bool = True
     output_limit: int | None = None
@@ -105,3 +120,13 @@ class ArabesqueConfig:
                 )
         if self.max_exploration_steps < 1:
             raise ValueError("max_exploration_steps must be >= 1")
+        if self.deadline_seconds is not None and not self.deadline_seconds > 0:
+            raise ValueError(
+                f"deadline_seconds must be positive when given "
+                f"(got {self.deadline_seconds!r})"
+            )
+        if self.max_embeddings is not None and self.max_embeddings < 1:
+            raise ValueError(
+                f"max_embeddings must be >= 1 when given "
+                f"(got {self.max_embeddings!r})"
+            )

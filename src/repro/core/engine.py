@@ -42,6 +42,7 @@ from ..bsp.messages import estimate_size
 from ..bsp.metrics import RunMetrics, SuperstepMetrics
 from ..graph import LabeledGraph
 from .aggregation import AggregationChannel, merge_partials
+from .budget import BudgetExceeded, DEADLINE_BUDGET, EMBEDDING_BUDGET
 from .computation import Computation
 from .config import ArabesqueConfig
 from .embedding import EDGE_EXPLORATION, VERTEX_EXPLORATION
@@ -122,6 +123,9 @@ class ArabesqueEngine:
         #: Guided step-0 pool (label index / whitelist / DAG root-pool
         #: union), computed once per run by :meth:`_plan_pool`.
         self._plan_universe: tuple[int, ...] | None = None
+        #: Monotonic instant the run's deadline budget expires (set per
+        #: run from ``config.deadline_seconds``; ``None`` = no deadline).
+        self._deadline_at: float | None = None
         self._backend = backend
         #: Expansion of the "undefined" embedding, computed once per engine
         #: (step 0 used to rebuild it per worker; see bench note in
@@ -209,6 +213,7 @@ class ArabesqueEngine:
                 else self._plan_pool()
             ),
             global_store=global_store if step > 0 else None,
+            deadline_at=self._deadline_at,
         )
 
     def _merge_delta(
@@ -258,6 +263,15 @@ class ArabesqueEngine:
         metrics = RunMetrics(num_workers=num_workers)
         result.metrics = metrics
         started = time.perf_counter()
+        # Budget hook (core.budget): arm the deadline clock once per run,
+        # and tally processed embeddings across barriers for the
+        # deterministic max_embeddings check below.
+        self._deadline_at = (
+            None
+            if config.deadline_seconds is None
+            else time.monotonic() + config.deadline_seconds
+        )
+        processed_total = 0
 
         from ..runtime.base import make_backend
 
@@ -273,7 +287,21 @@ class ArabesqueEngine:
                 context = self._step_context(
                     step, global_store, canonicalizer, agg_channel
                 )
-                deltas = backend.run_step(context)
+                try:
+                    deltas = backend.run_step(context)
+                except BudgetExceeded as exc:
+                    # A worker task tripped the mid-step deadline probe; it
+                    # only sees the expiry instant, so re-raise with the
+                    # run-level numbers filled in.
+                    if self._deadline_at is None:
+                        raise
+                    now = time.monotonic()
+                    raise BudgetExceeded(
+                        DEADLINE_BUDGET,
+                        config.deadline_seconds,
+                        config.deadline_seconds
+                        + max(0.0, now - self._deadline_at),
+                    ) from exc
                 for delta in deltas:
                     self._merge_delta(
                         delta, result, stats, step_metrics, canonicalizer
@@ -299,8 +327,32 @@ class ArabesqueEngine:
                 )
                 step_metrics.wall_seconds = time.perf_counter() - step_started
                 result.steps.append(stats)
+                processed_total += stats.processed_embeddings
                 if global_store.is_empty():
                     break
+                # Budget checks, cooperatively at the step barrier: a run
+                # that just finished (empty set F, the break above) always
+                # returns its result — budgets only stop runs that still
+                # have exploration ahead of them.  The embedding check
+                # reads merged counters, so its trip point is identical
+                # across backends and worker counts; the deadline check is
+                # wall-clock best-effort (worker tasks also probe it
+                # inside long steps — see runtime.tasks).
+                if (
+                    config.max_embeddings is not None
+                    and processed_total > config.max_embeddings
+                ):
+                    raise BudgetExceeded(
+                        EMBEDDING_BUDGET, config.max_embeddings, processed_total
+                    )
+                if self._deadline_at is not None:
+                    now = time.monotonic()
+                    if now > self._deadline_at:
+                        raise BudgetExceeded(
+                            DEADLINE_BUDGET,
+                            config.deadline_seconds,
+                            config.deadline_seconds + (now - self._deadline_at),
+                        )
             else:
                 raise ExplorationError(
                     f"exploration did not terminate within "

@@ -1,5 +1,18 @@
-"""Synthetic stand-ins for the paper's evaluation datasets."""
+"""Synthetic stand-ins for the paper's evaluation datasets.
 
+Besides the generator registry (:data:`DATASETS`), this package owns the
+one named-lookup path every front door shares: :func:`load` resolves a
+dataset *name* (optionally rescaled) with a loud error listing the
+available names, and :func:`resolve` additionally accepts an edge-list
+file path — the CLI and the query service registry both go through
+these instead of hand-rolling name/path dispatch.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..graph import LabeledGraph, read_edge_list
 from .synthetic import (
     DATASETS,
     PAPER_TABLE1,
@@ -14,15 +27,70 @@ from .synthetic import (
     youtube_like,
 )
 
+
+class UnknownDatasetError(ValueError):
+    """A dataset name (or graph spec) did not resolve to a graph."""
+
+
+def load(name: str, *, scale: float | None = None) -> LabeledGraph:
+    """Build the named built-in dataset, optionally rescaled.
+
+    The loud-error twin of ``DATASETS[name]()``: an unknown name raises
+    :class:`UnknownDatasetError` listing every available name instead of
+    a bare ``KeyError``.
+    """
+    factory = DATASETS.get(name)
+    if factory is None:
+        raise UnknownDatasetError(
+            f"unknown dataset {name!r} — available datasets: "
+            f"{', '.join(sorted(DATASETS))}"
+        )
+    return factory(scale=scale) if scale is not None else factory()
+
+
+def resolve(spec: str, *, scale: float | None = None) -> LabeledGraph:
+    """A dataset name or an edge-list file path -> :class:`LabeledGraph`.
+
+    Names win over paths (the built-ins shadow any same-named file);
+    ``scale`` only applies to built-ins and is rejected for files, where
+    it would silently do nothing.  Every failure mode — unknown name,
+    missing file, unreadable contents — surfaces as a
+    :class:`UnknownDatasetError` (a ``ValueError``) so callers need one
+    handler.
+    """
+    if spec in DATASETS:
+        return load(spec, scale=scale)
+    path = Path(spec)
+    if path.is_file():
+        if scale is not None:
+            raise UnknownDatasetError(
+                f"scale={scale} only applies to the built-in datasets "
+                f"({', '.join(sorted(DATASETS))}); {spec!r} is a file"
+            )
+        try:
+            return read_edge_list(path, name=path.stem)
+        except OSError as exc:
+            raise UnknownDatasetError(
+                f"cannot read edge-list file {spec!r}: {exc}"
+            ) from exc
+    raise UnknownDatasetError(
+        f"{spec!r} is neither a built-in dataset "
+        f"({', '.join(sorted(DATASETS))}) nor a readable edge-list file"
+    )
+
+
 __all__ = [
     "DATASETS",
     "DatasetStatistics",
     "PAPER_TABLE1",
+    "UnknownDatasetError",
     "citeseer_like",
     "dataset_statistics",
     "instagram_like",
+    "load",
     "mico_like",
     "patents_like",
+    "resolve",
     "scale_free_graph",
     "sn_like",
     "youtube_like",

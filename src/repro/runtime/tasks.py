@@ -50,6 +50,11 @@ from dataclasses import dataclass, field
 from typing import Any, Hashable, Sequence
 
 from ..core.aggregation import LocalAggregation
+from ..core.budget import (
+    BudgetExceeded,
+    DEADLINE_BUDGET,
+    DEADLINE_CHECK_INTERVAL,
+)
 from ..core.canonical import extension_checker, full_checker
 from ..core.computation import Computation, ComputationContext
 from ..core.embedding import make_embedding
@@ -105,6 +110,14 @@ class StepContext:
     universe: tuple[int, ...] | None = None
     #: Steps >= 1: the merged global store of the previous step (set I).
     global_store: EmbeddingStore | None = None
+    #: Monotonic instant the run's deadline budget expires (``None`` = no
+    #: deadline).  Tasks probe it every
+    #: :data:`~repro.core.budget.DEADLINE_CHECK_INTERVAL` embeddings so a
+    #: single pathological step fails fast instead of only at the next
+    #: barrier; ``time.monotonic`` is the system-wide ``CLOCK_MONOTONIC``
+    #: on Linux, so the instant is comparable inside the process
+    #: backend's forked workers too.
+    deadline_at: float | None = None
 
 
 class WorkerTaskContext(ComputationContext):
@@ -152,6 +165,19 @@ class WorkerTaskContext(ComputationContext):
         # barrier like every other StepStats field, so the tally is
         # backend- and worker-count-invariant.
         self._delta.counters.domain_hits += count
+
+
+def _probe_deadline(deadline_at: float | None, count: int) -> None:
+    """Periodic in-step deadline probe (every DEADLINE_CHECK_INTERVAL
+    embeddings) so one pathological step cannot run minutes past its
+    budget before reaching the barrier.  The task sees only the expiry
+    instant; the engine re-raises with the run-level limit filled in."""
+    if (
+        deadline_at is not None
+        and count % DEADLINE_CHECK_INTERVAL == 0
+        and time.monotonic() > deadline_at
+    ):
+        raise BudgetExceeded(DEADLINE_BUDGET)
 
 
 def _make_extension_checker(mode: str, incremental: bool, plan=None):
@@ -266,8 +292,10 @@ def _initial_pass(
     num_workers = context.num_workers
     start = total * worker_id // num_workers
     end = total * (worker_id + 1) // num_workers
+    deadline_at = context.deadline_at
     work = 0
     for index in range(start, end):
+        _probe_deadline(deadline_at, index - start)
         word = universe[index]
         stats.candidates_generated += 1
         if plan is not None and not check_word(plan, graph, (), word):
@@ -350,7 +378,11 @@ def _expansion_pass(
     iterator = global_store.extract_partition(
         worker_id, context.num_workers, prefix_ok
     )
+    deadline_at = context.deadline_at
+    probe_count = 0
     while True:
+        _probe_deadline(deadline_at, probe_count)
+        probe_count += 1
         if profile:
             t0 = time.perf_counter()
             item = next(iterator, None)

@@ -32,10 +32,20 @@ per-graph rather than per-query, so repeated queries skip re-setup:
 :meth:`Miner.cache_info` exposes hit/build counters; the test suite
 asserts that a reused session demonstrably skips plan and DAG
 recompilation and step-0 re-setup.
+
+The session is **thread-safe**: every cache's check-and-set (and every
+counter bump) happens under one session lock, so concurrent queries
+against a shared ``Miner`` — the query service runs many per registry
+entry — never compile the same plan twice or tear the counters.
+Compilation itself runs under the lock too; that serializes concurrent
+*first* compilations but keeps the "at most one build per key" guarantee
+exact (asserted by a threaded stress test).  Engine runs happen outside
+the lock, so queries still overlap.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from ..core.computation import Computation
@@ -106,6 +116,11 @@ class Miner:
         self._plans: dict[tuple[Pattern, bool], MatchingPlan] = {}
         self._dags: dict[tuple[tuple[Pattern, ...], bool], PlanDAG] = {}
         self._info = SessionCacheInfo()
+        #: Guards every cache's check-and-set and every counter bump, so
+        #: concurrent queries on one session (the query service) never
+        #: duplicate a compilation or tear ``cache_info()``.  RLock: a
+        #: guided-FSM dag_provider callback re-enters via _dag_for.
+        self._lock = threading.RLock()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging nicety
         return f"Miner({self.graph!r})"
@@ -171,27 +186,30 @@ class Miner:
     # ------------------------------------------------------------------
     def cache_info(self) -> SessionCacheInfo:
         """A snapshot of the session's cache counters."""
-        return SessionCacheInfo(**vars(self._info))
+        with self._lock:
+            return SessionCacheInfo(**vars(self._info))
 
     def _graph_variant(self, labeled: bool) -> LabeledGraph:
         if labeled:
             return self.graph
-        if self._unlabeled is None:
-            self._unlabeled = strip_labels(self.graph)
-            self._info.strip_builds += 1
-        return self._unlabeled
+        with self._lock:
+            if self._unlabeled is None:
+                self._unlabeled = strip_labels(self.graph)
+                self._info.strip_builds += 1
+            return self._unlabeled
 
     def _plan_for(self, pattern: Pattern, induced: bool) -> MatchingPlan:
         """Compile (or fetch) the plan for a canonical pattern."""
         key = (pattern, induced)
-        plan = self._plans.get(key)
-        if plan is None:
-            plan = compile_plan(pattern, induced=induced)
-            self._plans[key] = plan
-            self._info.plan_compilations += 1
-        else:
-            self._info.plan_hits += 1
-        return plan
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is None:
+                plan = compile_plan(pattern, induced=induced)
+                self._plans[key] = plan
+                self._info.plan_compilations += 1
+            else:
+                self._info.plan_hits += 1
+            return plan
 
     def _dag_for(
         self, patterns: tuple[Pattern, ...], induced: bool
@@ -205,26 +223,28 @@ class Miner:
         without touching the cached structure.
         """
         key = (tuple(patterns), induced)
-        dag = self._dags.get(key)
-        if dag is None:
-            dag = build_plan_dag(key[0], induced=induced)
-            self._dags[key] = dag
-            self._info.dag_compilations += 1
-        else:
-            self._info.dag_hits += 1
-        return dag
+        with self._lock:
+            dag = self._dags.get(key)
+            if dag is None:
+                dag = build_plan_dag(key[0], induced=induced)
+                self._dags[key] = dag
+                self._info.dag_compilations += 1
+            else:
+                self._info.dag_hits += 1
+            return dag
 
     def _universe_for(self, mode: str) -> tuple[int, ...]:
         """Step-0 candidates for ``mode`` — label-independent, so the
         labeled and stripped variants share one entry per mode."""
-        universe = self._universes.get(mode)
-        if universe is None:
-            universe = tuple(initial_candidates(self.graph, mode))
-            self._universes[mode] = universe
-            self._info.universe_builds += 1
-        else:
-            self._info.universe_hits += 1
-        return universe
+        with self._lock:
+            universe = self._universes.get(mode)
+            if universe is None:
+                universe = tuple(initial_candidates(self.graph, mode))
+                self._universes[mode] = universe
+                self._info.universe_builds += 1
+            else:
+                self._info.universe_hits += 1
+            return universe
 
     def _run(
         self,
@@ -235,8 +255,11 @@ class Miner:
         """Execute one engine run with the session's cached universe.
 
         Guided runs (``config.plan`` set) draw step 0 from the plan's
-        own pool, so no universe is built or counted for them."""
-        self._info.runs += 1
+        own pool, so no universe is built or counted for them.  The run
+        itself happens outside the session lock so concurrent queries
+        overlap; only the cache lookups and counters serialize."""
+        with self._lock:
+            self._info.runs += 1
         universe = (
             None
             if config.plan is not None
@@ -264,7 +287,8 @@ class Miner:
             config=config,
             dag_provider=lambda patterns: self._dag_for(patterns, False),
         )
-        self._info.runs += result.engine_runs
+        with self._lock:
+            self._info.runs += result.engine_runs
         return result
 
     def _guided_motifs(
@@ -288,7 +312,8 @@ class Miner:
             config=config,
             dag_provider=lambda patterns: self._dag_for(patterns, True),
         )
-        self._info.runs += result.engine_runs
+        with self._lock:
+            self._info.runs += result.engine_runs
         return result
 
 

@@ -83,6 +83,8 @@ class Query:
         self._collect: bool | None = None
         self._labeled = True
         self._base_config: ArabesqueConfig | None = None
+        self._deadline_seconds: float | None = None
+        self._max_embeddings: int | None = None
 
     # ------------------------------------------------------------------
     # Chainable execution options (validated eagerly)
@@ -143,6 +145,31 @@ class Query:
     def unlabeled(self) -> "Query":
         """Run on the session's label-stripped graph variant (cached)."""
         self._labeled = False
+        return self
+
+    def deadline(self, seconds: float) -> "Query":
+        """Cooperative wall-clock budget for the run: exceeding it raises
+        a loud :class:`~repro.core.budget.BudgetExceeded` at the next
+        BSP barrier (or mid-step probe) instead of running forever.  The
+        query service arms this on every admitted request."""
+        if not isinstance(seconds, (int, float)) or isinstance(seconds, bool) \
+                or not seconds > 0:
+            raise SessionError(
+                f"deadline() needs a positive number of seconds, "
+                f"got {seconds!r}"
+            )
+        self._deadline_seconds = float(seconds)
+        return self
+
+    def max_embeddings(self, count: int) -> "Query":
+        """Cooperative cap on processed embeddings (checked at every BSP
+        barrier, deterministic across backends); exceeding it raises a
+        loud :class:`~repro.core.budget.BudgetExceeded`."""
+        if not isinstance(count, int) or isinstance(count, bool) or count < 1:
+            raise SessionError(
+                f"max_embeddings() needs an integer >= 1, got {count!r}"
+            )
+        self._max_embeddings = count
         return self
 
     def config(self, config: ArabesqueConfig) -> "Query":
@@ -258,6 +285,10 @@ class Query:
             overrides["collect_outputs"] = self._collect
         if self._limit is not None:
             overrides["output_limit"] = self._limit
+        if self._deadline_seconds is not None:
+            overrides["deadline_seconds"] = self._deadline_seconds
+        if self._max_embeddings is not None:
+            overrides["max_embeddings"] = self._max_embeddings
         if self._limit is not None and not self._effective_collect():
             raise SessionError(
                 "limit() caps collected outputs, but the base config has "

@@ -1,0 +1,166 @@
+"""Tests for the engine-level budget hook (repro.core.budget).
+
+Three concerns:
+
+* **determinism** — an embedding budget trips at the same step with the
+  same spent counter across serial/thread/process backends and worker
+  counts, because it is checked only at BSP barriers on merged counters;
+* **transparency** — an armed-but-untripped run is byte-identical
+  (`canonical_signature`) to an unbudgeted run: arming a budget must
+  never perturb results;
+* **loudness** — `BudgetExceeded` carries the structured trip
+  (kind/limit/spent), survives pickling (the process backend ships it
+  from forked workers), and config/facade validation rejects nonsense
+  budgets eagerly.
+"""
+
+import pickle
+
+import pytest
+
+from repro.core import (
+    ArabesqueConfig,
+    BudgetExceeded,
+    DEADLINE_BUDGET,
+    EMBEDDING_BUDGET,
+)
+from repro.graph import assign_labels, gnm_random_graph
+from repro.session import Miner, SessionError
+
+BACKENDS = ("serial", "thread", "process")
+
+
+@pytest.fixture
+def graph():
+    return assign_labels(gnm_random_graph(24, 60, seed=5), 3, seed=5)
+
+
+@pytest.fixture
+def miner(graph):
+    return Miner(graph)
+
+
+class TestEmbeddingBudget:
+    def test_trips_loudly_with_the_spent_counter(self, miner):
+        with pytest.raises(BudgetExceeded) as excinfo:
+            miner.motifs(3).exhaustive().collect(False).max_embeddings(5).run()
+        exc = excinfo.value
+        assert exc.kind == EMBEDDING_BUDGET
+        assert exc.limit == 5
+        assert exc.spent > 5
+        assert "embedding budget" in str(exc)
+
+    def test_trip_point_is_deterministic_across_backends(self, graph):
+        spents = set()
+        for backend in BACKENDS:
+            for workers in (1, 3):
+                with pytest.raises(BudgetExceeded) as excinfo:
+                    (
+                        Miner(graph)
+                        .motifs(3)
+                        .exhaustive()
+                        .collect(False)
+                        .backend(backend)
+                        .workers(workers)
+                        .max_embeddings(5)
+                        .run()
+                    )
+                assert excinfo.value.kind == EMBEDDING_BUDGET
+                spents.add(excinfo.value.spent)
+        # Merged-at-the-barrier counters: every backend/worker combination
+        # processes identical steps, so all report the same spent total.
+        assert len(spents) == 1
+
+    def test_generous_budget_never_trips_and_changes_nothing(self, miner):
+        plain = miner.motifs(3).exhaustive().collect(False).run()
+        budgeted = (
+            miner.motifs(3)
+            .exhaustive()
+            .collect(False)
+            .max_embeddings(10**9)
+            .deadline(3600.0)
+            .run()
+        )
+        assert (
+            budgeted.raw.canonical_signature()
+            == plain.raw.canonical_signature()
+        )
+
+    def test_finished_runs_beat_exact_budgets(self, miner):
+        # The barrier check runs after the empty-store break: a run whose
+        # exploration is complete returns results even at the exact limit.
+        total = miner.motifs(3).exhaustive().collect(False).run().raw
+        exact = (
+            miner.motifs(3)
+            .exhaustive()
+            .collect(False)
+            .max_embeddings(total.total_processed)
+            .run()
+        )
+        assert (
+            exact.raw.canonical_signature() == total.canonical_signature()
+        )
+
+
+class TestDeadlineBudget:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_impossible_deadline_trips(self, graph, backend):
+        with pytest.raises(BudgetExceeded) as excinfo:
+            (
+                Miner(graph)
+                .motifs(4)
+                .exhaustive()
+                .collect(False)
+                .backend(backend)
+                .workers(2)
+                .deadline(1e-9)
+                .run()
+            )
+        exc = excinfo.value
+        assert exc.kind == DEADLINE_BUDGET
+        assert exc.limit == pytest.approx(1e-9)
+        assert exc.spent > exc.limit
+        assert "deadline" in str(exc)
+
+    def test_generous_deadline_is_invisible(self, miner):
+        plain = miner.match("triangle").run()
+        relaxed = miner.match("triangle").deadline(3600.0).run()
+        assert (
+            relaxed.raw.canonical_signature()
+            == plain.raw.canonical_signature()
+        )
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", [0, -1.5, "fast", True, float("nan")])
+    def test_facade_rejects_bad_deadlines(self, miner, bad):
+        with pytest.raises(SessionError, match="deadline"):
+            miner.motifs(3).deadline(bad)
+
+    @pytest.mark.parametrize("bad", [0, -2, 1.5, "many", True])
+    def test_facade_rejects_bad_embedding_budgets(self, miner, bad):
+        with pytest.raises(SessionError, match="max_embeddings"):
+            miner.motifs(3).max_embeddings(bad)
+
+    def test_config_rejects_bad_budgets(self):
+        with pytest.raises(ValueError, match="deadline_seconds"):
+            ArabesqueConfig(deadline_seconds=0)
+        with pytest.raises(ValueError, match="max_embeddings"):
+            ArabesqueConfig(max_embeddings=0)
+
+
+class TestBudgetExceeded:
+    def test_pickle_round_trip(self):
+        exc = BudgetExceeded(EMBEDDING_BUDGET, 10, 25)
+        clone = pickle.loads(pickle.dumps(exc))
+        assert (clone.kind, clone.limit, clone.spent) == (
+            EMBEDDING_BUDGET,
+            10,
+            25,
+        )
+        assert str(clone) == str(exc)
+
+    def test_mid_step_probe_message_without_limits(self):
+        exc = BudgetExceeded(DEADLINE_BUDGET)
+        assert exc.limit is None and exc.spent is None
+        assert "deadline" in str(exc)

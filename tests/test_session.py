@@ -579,3 +579,80 @@ class TestUniverseInjection:
             universe=tuple(graph.vertices()),
         )
         assert injected.canonical_signature() == default.canonical_signature()
+
+
+# ---------------------------------------------------------------------------
+# Thread safety: one shared Miner under concurrent query load
+# ---------------------------------------------------------------------------
+class TestThreadSafety:
+    def test_concurrent_queries_share_caches_without_duplication(self, graph):
+        """Hammer one session from many threads: every thread must see
+        identical results, and the per-graph caches must show exactly one
+        build per key — no duplicate compilations, no torn counters."""
+        import threading
+
+        shared = Miner(graph)
+        num_threads = 8
+        barrier = threading.Barrier(num_threads)
+        failures = []
+        signatures = [None] * num_threads
+
+        def worker(slot):
+            try:
+                barrier.wait(timeout=30)
+                triangle = shared.match("triangle").run()
+                wedge = shared.match("wedge").run()
+                motifs = shared.motifs(3).collect(False).run()
+                signatures[slot] = (
+                    triangle.raw.canonical_signature(),
+                    wedge.raw.canonical_signature(),
+                    motifs.raw.canonical_signature(),
+                )
+            except Exception as exc:  # pragma: no cover - failure detail
+                failures.append((slot, exc))
+
+        threads = [
+            threading.Thread(target=worker, args=(slot,))
+            for slot in range(num_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not failures, failures
+
+        assert all(sig is not None for sig in signatures)
+        assert len(set(signatures)) == 1  # every thread saw the same bytes
+
+        info = shared.cache_info()
+        # Compile-under-lock: one plan per distinct (pattern, semantics),
+        # one DAG per motif batch, no matter how many threads raced.
+        assert info.plan_compilations == 2
+        assert info.dag_compilations == 1
+        # No torn counters: every run is accounted for, and every lookup
+        # beyond the first build was a hit.
+        assert info.runs == num_threads * 3
+        assert info.plan_hits == num_threads * 2 - 2
+        assert info.dag_hits == num_threads - 1
+
+    def test_concurrent_unlabeled_runs_build_one_stripped_variant(self, graph):
+        import threading
+
+        shared = Miner(graph)
+        barrier = threading.Barrier(6)
+        failures = []
+
+        def worker():
+            try:
+                barrier.wait(timeout=30)
+                shared.match("wedge").unlabeled().run()
+            except Exception as exc:  # pragma: no cover - failure detail
+                failures.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not failures, failures
+        assert shared.cache_info().strip_builds == 1
