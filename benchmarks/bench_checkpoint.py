@@ -1,0 +1,207 @@
+"""Checkpoint + spill benchmark: snapshot overhead, crash-resume, memory.
+
+Three sections, all on the citeseer-like synthetic graph:
+
+* **snapshot overhead**: the same cliques run with and without a
+  checkpoint directory — reported as absolute and per-barrier overhead,
+  with the on-disk snapshot sizes.  Checkpointing pickles the merged
+  store at every barrier, so the cost scales with store bytes; the bar
+  is that it stays a modest fraction of the run, not free.
+* **crash-resume**: the run is killed at its first barrier (via the
+  fault-injection writer) and resumed; the resumed signature must be
+  **byte-identical** to the uninterrupted run.  This is the acceptance
+  property and is hard-asserted in BOTH modes, quick included.
+* **spill vs list memory**: the identical row stream is fed to a
+  ``ListStore`` and to a ``SpillListStore`` whose byte budget is a
+  fraction of the list's footprint; the spill store must stay under its
+  budget (hard-asserted) while extracting the byte-identical sorted
+  stream (hard-asserted), and the engine-level spill run must produce a
+  canonical signature byte-identical to list storage (hard-asserted).
+
+``BENCH_QUICK=1`` shrinks the graph for CI smoke runs; every
+correctness bar above still holds, only the wall-clock numbers lose
+meaning.  Machine-readable results land in
+``results/BENCH_checkpoint.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from _harness import fmt_count, report, report_json
+
+from repro.apps import CliqueFinding, MotifCounting
+from repro.checkpoint import list_snapshots, resume_run, run_to_crash
+from repro.core import (
+    ArabesqueConfig,
+    LIST_STORAGE,
+    ListStore,
+    SPILL_STORAGE,
+    SpillListStore,
+    run_computation,
+)
+from repro.datasets import citeseer_like
+
+QUICK = os.environ.get("BENCH_QUICK", "") not in ("", "0", "false", "no")
+
+GRAPH_SCALE = 0.05 if QUICK else 0.3
+MAX_CLIQUE = 4
+REPEATS = 1 if QUICK else 3
+
+
+def best_wall(fn):
+    best, value = float("inf"), None
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+def bench_snapshot_overhead(graph, run_dir):
+    plain_s, plain = best_wall(
+        lambda: run_computation(
+            graph, CliqueFinding(max_size=MAX_CLIQUE, min_size=2), ArabesqueConfig()
+        )
+    )
+    config = ArabesqueConfig(checkpoint_dir=run_dir, checkpoint_keep=100)
+    ckpt_s, ckpt = best_wall(
+        lambda: run_computation(
+            graph, CliqueFinding(max_size=MAX_CLIQUE, min_size=2), config
+        )
+    )
+    assert ckpt.canonical_signature() == plain.canonical_signature()
+    snapshots = list_snapshots(run_dir)
+    snapshot_bytes = [os.path.getsize(path) for _, path in snapshots]
+    barriers = len(snapshots)
+    overhead = ckpt_s - plain_s
+    return {
+        "plain_s": plain_s,
+        "checkpointed_s": ckpt_s,
+        "barriers": barriers,
+        "overhead_s": overhead,
+        "overhead_per_barrier_ms": 1000 * overhead / max(1, barriers),
+        "snapshot_bytes": snapshot_bytes,
+    }
+
+
+def bench_crash_resume(graph, run_dir):
+    config = ArabesqueConfig()
+    reference = run_computation(
+        graph, MotifCounting(3), ArabesqueConfig()
+    )
+    run_to_crash(graph, MotifCounting(3), config, run_dir, 0)
+    start = time.perf_counter()
+    resumed = resume_run(run_dir, graph, config=config)
+    resume_s = time.perf_counter() - start
+    # The acceptance bar: byte-identical to the uninterrupted run.
+    assert (
+        resumed.canonical_signature() == reference.canonical_signature()
+    ), "resumed run diverged from the uninterrupted run"
+    return {"resume_s": resume_s, "byte_identical": True}
+
+
+def bench_spill_memory(graph, spill_dir):
+    # Store-level: same rows, list footprint vs spill budget compliance.
+    seed = run_computation(
+        graph,
+        CliqueFinding(max_size=3, min_size=2),
+        ArabesqueConfig(storage=LIST_STORAGE, collect_outputs=True),
+    )
+    from repro.core import Pattern
+
+    rows_pattern = Pattern((0, 0), ((0, 1, 0),))
+    rows = [tuple(words) for words in seed.outputs]
+    list_store = ListStore()
+    for words in rows:
+        list_store.add(rows_pattern, words)
+    list_nbytes = list_store.wire_size()
+    budget = max(256, list_nbytes // 8)
+    spill_store = SpillListStore(directory=spill_dir, budget_nbytes=budget)
+    for words in rows:
+        spill_store.add(rows_pattern, words)
+    assert spill_store.peak_memory_nbytes <= budget + 4 + 4 * max(
+        (len(r) for r in rows), default=0
+    ), "spill store exceeded its byte budget"
+    list_store.sort()
+    assert list(spill_store.extract_partition(0, 1)) == list(
+        list_store.extract_partition(0, 1)
+    ), "spill extraction diverged from sorted list extraction"
+    spill_store.dispose()
+
+    # Engine-level: byte-identical signatures under a tiny budget.
+    list_s, listed = best_wall(
+        lambda: run_computation(
+            graph,
+            CliqueFinding(max_size=MAX_CLIQUE, min_size=2),
+            ArabesqueConfig(storage=LIST_STORAGE),
+        )
+    )
+    spill_s, spilled = best_wall(
+        lambda: run_computation(
+            graph,
+            CliqueFinding(max_size=MAX_CLIQUE, min_size=2),
+            ArabesqueConfig(storage=SPILL_STORAGE, spill_budget_nbytes=budget),
+        )
+    )
+    assert (
+        spilled.canonical_signature() == listed.canonical_signature()
+    ), "spill storage diverged from list storage"
+    return {
+        "rows": len(rows),
+        "list_store_nbytes": list_nbytes,
+        "spill_budget_nbytes": budget,
+        "spill_peak_memory_nbytes": spill_store.peak_memory_nbytes,
+        "list_run_s": list_s,
+        "spill_run_s": spill_s,
+        "list_peak_storage_bytes": listed.peak_storage_bytes,
+    }
+
+
+def main():
+    import tempfile
+
+    graph = citeseer_like(scale=GRAPH_SCALE)
+    with tempfile.TemporaryDirectory(prefix="bench-ckpt-") as root:
+        overhead = bench_snapshot_overhead(graph, os.path.join(root, "ovh"))
+        resume = bench_crash_resume(graph, os.path.join(root, "crash"))
+        spill = bench_spill_memory(graph, os.path.join(root, "spill"))
+
+    lines = [
+        f"graph: citeseer-like scale={GRAPH_SCALE} "
+        f"({graph.num_vertices:,} v, {graph.num_edges:,} e)"
+        + ("  [QUICK]" if QUICK else ""),
+        "",
+        f"cliques k<={MAX_CLIQUE}, no checkpoint:   {overhead['plain_s']*1000:8.1f} ms",
+        f"cliques k<={MAX_CLIQUE}, checkpointed:    {overhead['checkpointed_s']*1000:8.1f} ms"
+        f"  ({overhead['barriers']} barriers, "
+        f"{overhead['overhead_per_barrier_ms']:.2f} ms/barrier)",
+        f"snapshot sizes: {[fmt_count(b) for b in overhead['snapshot_bytes']]}",
+        "",
+        f"crash at barrier 0 -> resume: {resume['resume_s']*1000:8.1f} ms, "
+        "byte-identical: yes (asserted)",
+        "",
+        f"spill rows: {spill['rows']:,}  list store bytes: "
+        f"{fmt_count(spill['list_store_nbytes'])}  budget: "
+        f"{fmt_count(spill['spill_budget_nbytes'])}  spill peak mem: "
+        f"{fmt_count(spill['spill_peak_memory_nbytes'])} (under budget, asserted)",
+        f"engine list run: {spill['list_run_s']*1000:8.1f} ms   "
+        f"spill run: {spill['spill_run_s']*1000:8.1f} ms "
+        "(byte-identical, asserted)",
+    ]
+    report("checkpoint", "Checkpoint + spill: overhead, resume, memory", lines)
+    report_json(
+        "BENCH_checkpoint",
+        {
+            "quick": QUICK,
+            "graph_scale": GRAPH_SCALE,
+            "snapshot_overhead": overhead,
+            "crash_resume": resume,
+            "spill": spill,
+        },
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Checkpointed execution: BSP barrier snapshots and crash-resume.
+
+The step-synchronous engine makes the inter-step barrier a natural
+snapshot point (the ASYMP / G-thinker direction named in the ROADMAP):
+:mod:`~repro.checkpoint.snapshot` defines the versioned, checksummed,
+atomically-written snapshot format and the retention-managed writer;
+:mod:`~repro.checkpoint.resume` validates fingerprints and rebuilds an
+engine mid-run; :mod:`~repro.checkpoint.faults` injects crashes at chosen
+barriers so the resume path is tested against every barrier of a run.
+
+See docs/checkpoint.md for the format and the resume semantics.
+"""
+
+from .faults import CrashingWriter, InjectedCrash, run_to_crash
+from .resume import (
+    EXECUTION_CONFIG_FIELDS,
+    build_resume_config,
+    resume_run,
+    validate_payload,
+)
+from .snapshot import (
+    CheckpointConfigMismatch,
+    CheckpointError,
+    CheckpointGraphMismatch,
+    CheckpointWriter,
+    FORMAT_VERSION,
+    SEMANTIC_CONFIG_FIELDS,
+    config_fingerprint,
+    graph_fingerprint,
+    latest_snapshot_path,
+    list_snapshots,
+    load_latest,
+    read_snapshot,
+    write_snapshot,
+)
+
+__all__ = [
+    "CheckpointConfigMismatch",
+    "CheckpointError",
+    "CheckpointGraphMismatch",
+    "CheckpointWriter",
+    "CrashingWriter",
+    "EXECUTION_CONFIG_FIELDS",
+    "FORMAT_VERSION",
+    "InjectedCrash",
+    "SEMANTIC_CONFIG_FIELDS",
+    "build_resume_config",
+    "config_fingerprint",
+    "graph_fingerprint",
+    "latest_snapshot_path",
+    "list_snapshots",
+    "load_latest",
+    "read_snapshot",
+    "resume_run",
+    "run_to_crash",
+    "validate_payload",
+    "write_snapshot",
+]

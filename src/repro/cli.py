@@ -8,6 +8,7 @@ Usage::
     python -m repro fsm             GRAPH --support 100 [--max-edges 3] [--exhaustive]
     python -m repro match           GRAPH QUERY [--exhaustive]
     python -m repro stats           GRAPH
+    python -m repro resume          GRAPH RUN_DIR
     python -m repro serve           --graphs GRAPH [GRAPH ...] [--port 8080]
 
 ``GRAPH`` is an edge-list file (see :func:`repro.graph.read_edge_list`) or
@@ -21,9 +22,11 @@ the subcommand chains its options onto a fluent query.  The shared flags
 map one-to-one — ``--num-workers`` → ``.workers()``, ``--backend`` →
 ``.backend()`` (``serial``, ``thread``, or ``process``; ``process`` uses
 one OS process per worker chunk for real multi-core speedup), and
-``--storage`` → ``.storage()`` (``odag``, ``list``, or ``adaptive``;
-unset lets the facade pick).  Results are identical across backends and
-worker counts by construction.
+``--storage`` → ``.storage()`` (``odag``, ``list``, ``adaptive``, or the
+out-of-core ``spill``; unset lets the facade pick).  Results are
+identical across backends and worker counts by construction.
+``--checkpoint-dir`` snapshots the run at every BSP barrier; ``resume``
+restarts a crashed run from its last barrier (docs/checkpoint.md).
 
 ``match`` retrieves every occurrence of a query pattern — a named shape
 (``triangle``, ``square``, ``wedge``, ...) or a pattern edge-list file (see
@@ -84,6 +87,8 @@ def configure(query: Query, args: argparse.Namespace) -> Query:
     query.workers(args.workers).backend(args.backend)
     if args.storage is not None:
         query.storage(args.storage)
+    if getattr(args, "checkpoint_dir", None) is not None:
+        query.checkpoint(args.checkpoint_dir)
     if not getattr(args, "labeled", True):
         query.unlabeled()
     limit = getattr(args, "limit", None)
@@ -213,6 +218,79 @@ def cmd_match(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resumed_view(computation, raw):
+    """Wrap a resumed engine record in the workload-matched result view,
+    so ``resume`` prints the same body lines as the original command."""
+    from .apps import (
+        CliqueFinding,
+        FrequentSubgraphMining,
+        MaximalCliqueFinding,
+        MotifCounting,
+    )
+    from .apps.motifs import DagMotifCounting
+    from .session.results import CliqueResult, FSMResult, MiningResult, MotifResult
+
+    if isinstance(computation, MaximalCliqueFinding):
+        return CliqueResult(raw, maximal=True)
+    if isinstance(computation, CliqueFinding):
+        return CliqueResult(raw)
+    if isinstance(computation, DagMotifCounting):
+        # Both motif strategies expose the identical aggregate surface.
+        return MotifResult(raw, guided=True)
+    if isinstance(computation, MotifCounting):
+        return MotifResult(raw, guided=False)
+    if isinstance(computation, FrequentSubgraphMining):
+        return FSMResult(
+            raw,
+            support_threshold=computation.support_threshold,
+            guided=False,
+        )
+    return MiningResult(raw)
+
+
+def cmd_resume(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from .checkpoint import CheckpointError, load_latest
+
+    session = open_session(args)
+    # Semantics (storage mode, budgets, the plan) come from the snapshot;
+    # only execution knobs are taken from the command line — results are
+    # invariant to them by construction.
+    try:
+        payload = load_latest(args.run_dir)
+        config = dataclasses.replace(
+            payload["config"],
+            backend=args.backend,
+            num_workers=args.workers,
+            checkpoint_dir=args.run_dir,
+        )
+        result = session.resume(args.run_dir, config)
+    except (CheckpointError, OSError, ValueError) as exc:
+        raise SystemExit(f"error: {exc}")
+    print(
+        f"resumed from barrier {payload['step']} "
+        f"({payload['processed_total']:,} embeddings already processed)"
+    )
+    view = _resumed_view(payload["computation"], result)
+    if hasattr(view, "maximal"):  # clique views share the size printer
+        _print_clique_sizes(view, verbose=False)
+    elif hasattr(view, "counts"):
+        for pattern, count in sorted(
+            view.counts().items(),
+            key=lambda kv: (kv[0].num_vertices, -kv[1]),
+        ):
+            edges = ",".join(f"{i}-{j}" for i, j, _ in pattern.edges)
+            print(f"motif v={pattern.num_vertices} edges=[{edges}] count={count:,}")
+    elif hasattr(view, "patterns"):
+        print(
+            f"fsm: support >= {view.support_threshold}, "
+            f"{len(view.patterns())} frequent patterns"
+        )
+    print(view.summary())
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
     from pathlib import Path
@@ -238,6 +316,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 None if args.deadline_ms is None else args.deadline_ms / 1000.0
             ),
             default_max_embeddings=args.max_embeddings,
+            checkpoint_root=args.checkpoint_root,
         )
     except ValueError as exc:  # ServiceError/SessionError family
         raise SystemExit(f"error: {exc}")
@@ -277,7 +356,13 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--storage", choices=STORAGE_MODES, default=None,
                          help="embedding storage strategy (default: let "
                               "the session pick — ODAG, except list for "
-                              "plan-guided matches)")
+                              "plan-guided matches); 'spill' streams "
+                              "embedding blocks to disk past a byte budget")
+        sub.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                         help="snapshot the run into DIR at every BSP "
+                              "barrier; after a crash, 'repro resume GRAPH "
+                              "DIR' restarts from the last barrier (see "
+                              "docs/checkpoint.md)")
 
     stats = subparsers.add_parser("stats", help="print dataset statistics")
     common(stats)
@@ -392,6 +477,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fsm.set_defaults(handler=cmd_fsm)
 
+    resume = subparsers.add_parser(
+        "resume",
+        help="resume a crashed checkpointed run from its run directory",
+    )
+    resume.add_argument("graph", help="the SAME edge-list file or dataset "
+                                      "name the checkpointed run used")
+    resume.add_argument("run_dir", help="the --checkpoint-dir of the "
+                                        "crashed run")
+    resume.add_argument("--scale", type=float, default=None,
+                        help="scale factor for built-in datasets (must "
+                             "match the original run's)")
+    resume.add_argument("--num-workers", "--workers", dest="workers",
+                        type=int, default=1, metavar="N",
+                        help="worker count for the resumed steps (an "
+                             "execution knob — results never depend on it)")
+    resume.add_argument("--backend", choices=BACKENDS,
+                        default=SERIAL_BACKEND,
+                        help="execution runtime for the resumed steps "
+                             "(execution knob, default: serial)")
+    resume.set_defaults(handler=cmd_resume)
+
     serve = subparsers.add_parser(
         "serve",
         help="run the HTTP query service (see docs/service.md)",
@@ -419,6 +525,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--memory-limit-mb", type=float, default=None,
                        help="bound on the pooled graphs' summed memory; "
                             "loading past it evicts LRU graphs")
+    serve.add_argument("--checkpoint-root", default=None, metavar="DIR",
+                       help="snapshot every cache-miss query's engine run "
+                            "into a unique directory under DIR (resume "
+                            "one with 'repro resume')")
     serve.set_defaults(handler=cmd_serve)
     return parser
 

@@ -1,7 +1,13 @@
 """Arabesque core: the filter-process model and its execution techniques."""
 
 from .aggregation import AggregationChannel, LocalAggregation, merge_partials
-from .budget import BudgetExceeded, DEADLINE_BUDGET, EMBEDDING_BUDGET
+from .budget import (
+    BudgetExceeded,
+    CancelFlag,
+    DEADLINE_BUDGET,
+    EMBEDDING_BUDGET,
+    RunCancelled,
+)
 from .canonical import (
     canonicalize_edge_set,
     canonicalize_vertex_set,
@@ -34,12 +40,15 @@ from .pattern import Pattern, PatternCanonicalizer, canonicalize_pattern, patter
 from .results import RunResult, StepStats, WorkerDelta
 from .storage import (
     ADAPTIVE_STORAGE,
+    DEFAULT_SPILL_BUDGET_NBYTES,
     LIST_STORAGE,
     ODAG_STORAGE,
+    SPILL_STORAGE,
     STORAGE_MODES,
     EmbeddingStore,
     ListStore,
     OdagStore,
+    SpillListStore,
 )
 
 __all__ = [
@@ -49,9 +58,11 @@ __all__ = [
     "ArabesqueEngine",
     "BACKENDS",
     "BudgetExceeded",
+    "CancelFlag",
     "Computation",
     "ComputationContext",
     "DEADLINE_BUDGET",
+    "DEFAULT_SPILL_BUDGET_NBYTES",
     "EDGE_EXPLORATION",
     "EMBEDDING_BUDGET",
     "EdgeInducedEmbedding",
@@ -68,9 +79,12 @@ __all__ = [
     "PartitionReport",
     "Pattern",
     "PatternCanonicalizer",
+    "RunCancelled",
     "RunResult",
     "SERIAL_BACKEND",
+    "SPILL_STORAGE",
     "STORAGE_MODES",
+    "SpillListStore",
     "StepStats",
     "THREAD_BACKEND",
     "VERTEX_EXPLORATION",

@@ -101,6 +101,22 @@ class AggregationChannel:
         """Final values of a persistent channel (empty for per-step ones)."""
         return dict(self._accumulated)
 
+    def restore(
+        self,
+        published: dict[Hashable, Any],
+        latest: dict[Hashable, Any],
+    ) -> None:
+        """Reinstall a non-persistent channel's barrier state (checkpoint
+        resume): what the snapshotted step published for the next step's
+        ``readAggregate``, and the per-key latest view."""
+        self._published = dict(published)
+        self._latest = dict(latest)
+
+    def restore_accumulated(self, accumulated: dict[Hashable, Any]) -> None:
+        """Reinstall a persistent channel's running accumulation
+        (checkpoint resume)."""
+        self._accumulated = dict(accumulated)
+
 
 class LocalAggregation:
     """One worker's map-side buffer for one channel during one step.

@@ -30,6 +30,8 @@ is byte-identical to an unbudgeted one (asserted in
 
 from __future__ import annotations
 
+import threading
+
 #: Embeddings between in-task deadline probes (see
 #: :func:`repro.runtime.tasks.run_step_task`).  Coarse enough that the
 #: clock read never shows up in profiles, fine enough that a runaway
@@ -86,9 +88,63 @@ class BudgetExceeded(RuntimeError):
         return (type(self), (self.kind, self.limit, self.spent))
 
 
+class RunCancelled(RuntimeError):
+    """A run was cancelled from outside (its :class:`CancelFlag` was set).
+
+    Distinct from :class:`BudgetExceeded`: a budget trip is the *run's own*
+    resource exhaustion and maps to a 4xx at the service layer, whereas a
+    cancellation means nobody wants the answer any more (the client
+    disconnected, the caller gave up) — the service drops the run without
+    writing a response.  Picklable like every other engine-crossing error.
+    """
+
+    def __init__(self, reason: str = "run cancelled") -> None:
+        self.reason = reason
+        super().__init__(reason)
+
+    def __reduce__(self):
+        return (type(self), (self.reason,))
+
+
+class CancelFlag:
+    """Cooperative cancellation handle shared between a run and its owner.
+
+    The owner (e.g. the query service's disconnect watcher) calls
+    :meth:`set` from any thread; the engine checks the flag at every BSP
+    barrier and worker tasks probe it alongside the deadline probe (every
+    :data:`DEADLINE_CHECK_INTERVAL` embeddings), raising
+    :class:`RunCancelled`.
+
+    Thread-backend workers share the flag object, so an in-step set() cuts
+    them off mid-pass.  The process backend pickles the :class:`StepContext`
+    into child processes, where a shared in-memory event cannot follow —
+    ``__reduce__`` therefore ships an *inert* fresh flag, degrading
+    cancellation to barrier granularity there (the engine's own check still
+    sees the live flag).  That trade keeps the flag dependency-free; a
+    ``multiprocessing.Event`` would cut in-step too but drags a semaphore
+    into every context pickle.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def set(self) -> None:
+        self._event.set()
+
+    def is_set(self) -> bool:
+        return self._event.is_set()
+
+    def __reduce__(self):  # process-backend children get an inert flag
+        return (type(self), ())
+
+
 __all__ = [
     "BudgetExceeded",
+    "CancelFlag",
     "DEADLINE_BUDGET",
     "DEADLINE_CHECK_INTERVAL",
     "EMBEDDING_BUDGET",
+    "RunCancelled",
 ]

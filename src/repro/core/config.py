@@ -6,7 +6,8 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from ..bsp.cost_model import CostModel
-from .storage import ODAG_STORAGE, STORAGE_MODES
+from .budget import CancelFlag
+from .storage import DEFAULT_SPILL_BUDGET_NBYTES, ODAG_STORAGE, STORAGE_MODES
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (plan -> core)
     from ..plan.dag import PlanDAG
@@ -85,6 +86,33 @@ class ArabesqueConfig:
     #: across backends and worker counts; tripping raises
     #: :class:`~repro.core.budget.BudgetExceeded`.  ``None`` = unbounded.
     max_embeddings: int | None = None
+    #: Cooperative external cancellation (:class:`~repro.core.budget.CancelFlag`).
+    #: The engine checks it at every BSP barrier and worker tasks probe it
+    #: alongside the deadline probe, raising
+    #: :class:`~repro.core.budget.RunCancelled` — how the query service
+    #: stops a run whose client disconnected.  ``None`` = not cancellable.
+    cancel: CancelFlag | None = None
+    #: Directory for BSP-barrier checkpoints (see :mod:`repro.checkpoint`).
+    #: When set, the engine writes a versioned, checksummed snapshot of the
+    #: run's barrier state after each store merge, atomically
+    #: (write-then-rename), so a killed run resumes from its last barrier
+    #: instead of restarting.  ``None`` (default) = no checkpointing.
+    checkpoint_dir: str | None = None
+    #: Snapshots retained in ``checkpoint_dir`` (older ones are deleted
+    #: after each successful write).
+    checkpoint_keep: int = 2
+    #: Snapshot every Nth barrier (1 = every barrier).  Coarser cadence
+    #: trades re-execution distance for snapshot overhead.
+    checkpoint_every: int = 1
+    #: In-memory byte budget of ``"spill"`` storage before a worker's (or
+    #: the merged global) store spills a sorted segment to disk; measured
+    #: under the list wire model so it is comparable to reported
+    #: ``storage_bytes``.
+    spill_budget_nbytes: int = DEFAULT_SPILL_BUDGET_NBYTES
+    #: Parent directory for the run's spill root (``None`` = system temp).
+    #: The engine creates a private subdirectory per run and removes it
+    #: when the run finishes.
+    spill_dir: str | None = None
     #: Keep outputs in memory.  Large runs can set a cap (counts stay exact).
     collect_outputs: bool = True
     output_limit: int | None = None
@@ -130,3 +158,14 @@ class ArabesqueConfig:
                 f"max_embeddings must be >= 1 when given "
                 f"(got {self.max_embeddings!r})"
             )
+        if self.cancel is not None and not isinstance(self.cancel, CancelFlag):
+            raise ValueError(
+                "cancel must be a repro.core.budget.CancelFlag "
+                f"(got {type(self.cancel).__name__})"
+            )
+        if self.checkpoint_keep < 1:
+            raise ValueError("checkpoint_keep must be >= 1")
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        if self.spill_budget_nbytes < 1:
+            raise ValueError("spill_budget_nbytes must be >= 1")

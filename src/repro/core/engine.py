@@ -33,6 +33,8 @@ terminates when a step stores nothing (set F empty).
 
 from __future__ import annotations
 
+import shutil
+import tempfile
 import time
 from typing import Any, Hashable
 
@@ -42,7 +44,12 @@ from ..bsp.messages import estimate_size
 from ..bsp.metrics import RunMetrics, SuperstepMetrics
 from ..graph import LabeledGraph
 from .aggregation import AggregationChannel, merge_partials
-from .budget import BudgetExceeded, DEADLINE_BUDGET, EMBEDDING_BUDGET
+from .budget import (
+    BudgetExceeded,
+    DEADLINE_BUDGET,
+    EMBEDDING_BUDGET,
+    RunCancelled,
+)
 from .computation import Computation
 from .config import ArabesqueConfig
 from .embedding import EDGE_EXPLORATION, VERTEX_EXPLORATION
@@ -53,11 +60,14 @@ from .storage import (
     ADAPTIVE_STORAGE,
     LIST_STORAGE,
     ODAG_STORAGE,
+    SPILL_STORAGE,
     ListStore,
     OdagStore,
+    SpillListStore,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard; see run()
+    from ..checkpoint.snapshot import CheckpointWriter, ResumeState
     from ..runtime import ExecutionBackend, StepContext
 
 AGGREGATE_CHANNEL = "aggregate"
@@ -88,6 +98,7 @@ class ArabesqueEngine:
         config: ArabesqueConfig | None = None,
         backend: ExecutionBackend | None = None,
         universe: tuple[int, ...] | None = None,
+        checkpointer: "CheckpointWriter | None" = None,
     ) -> None:
         self.graph = graph
         self.computation = computation
@@ -127,6 +138,12 @@ class ArabesqueEngine:
         #: run from ``config.deadline_seconds``; ``None`` = no deadline).
         self._deadline_at: float | None = None
         self._backend = backend
+        #: Barrier-snapshot writer.  Injected (fault-injection harness,
+        #: resume) or built lazily from ``config.checkpoint_dir``.
+        self._checkpointer = checkpointer
+        #: Spill-mode only: the run's private segment directory, created
+        #: per run and removed when the run finishes.
+        self._spill_root: str | None = None
         #: Expansion of the "undefined" embedding, computed once per engine
         #: (step 0 used to rebuild it per worker; see bench note in
         #: benchmarks/_harness.py) — or injected by a session that already
@@ -214,6 +231,9 @@ class ArabesqueEngine:
             ),
             global_store=global_store if step > 0 else None,
             deadline_at=self._deadline_at,
+            spill_dir=self._spill_root,
+            spill_budget_nbytes=config.spill_budget_nbytes,
+            cancel=config.cancel,
         )
 
     def _merge_delta(
@@ -246,22 +266,53 @@ class ArabesqueEngine:
         )
 
     # ------------------------------------------------------------------
-    def run(self) -> RunResult:
-        """Execute exploration steps until set F is empty; return results."""
+    def run(self, resume_state: "ResumeState | None" = None) -> RunResult:
+        """Execute exploration steps until set F is empty; return results.
+
+        ``resume_state`` (built by :func:`repro.checkpoint.resume_run` from
+        a barrier snapshot) restarts the loop at the snapshotted step + 1
+        with the merged store, aggregation channels, pattern cache, and run
+        counters restored — the resumed run's result is byte-identical to
+        an uninterrupted one because everything a later step reads was
+        captured at the barrier.  The deadline budget is re-armed fresh;
+        wall-clock accumulates across the crash.
+        """
         config = self.config
         computation = self.computation
         num_workers = config.num_workers
+        cancel = config.cancel
 
-        canonicalizer = PatternCanonicalizer(config.two_level_aggregation)
+        if resume_state is None:
+            canonicalizer = PatternCanonicalizer(config.two_level_aggregation)
+            result = RunResult()
+            metrics = RunMetrics(num_workers=num_workers)
+            result.metrics = metrics
+            processed_total = 0
+            start_step = 0
+            global_store = None
+            prior_wall = 0.0
+        else:
+            canonicalizer = resume_state.canonicalizer
+            result = resume_state.result
+            metrics = result.metrics
+            if metrics is None:
+                metrics = RunMetrics(num_workers=num_workers)
+                result.metrics = metrics
+            processed_total = resume_state.processed_total
+            start_step = resume_state.step + 1
+            global_store = resume_state.store
+            prior_wall = resume_state.wall_seconds
         agg_channel = AggregationChannel(AGGREGATE_CHANNEL, computation.reduce)
         out_channel = AggregationChannel(
             OUTPUT_CHANNEL, computation.reduce_output, persistent=True
         )
+        if resume_state is not None:
+            agg_channel.restore(
+                resume_state.agg_published, resume_state.agg_latest
+            )
+            out_channel.restore_accumulated(resume_state.out_accumulated)
         computation.init(self.graph, config)
 
-        result = RunResult()
-        metrics = RunMetrics(num_workers=num_workers)
-        result.metrics = metrics
         started = time.perf_counter()
         # Budget hook (core.budget): arm the deadline clock once per run,
         # and tally processed embeddings across barriers for the
@@ -271,15 +322,34 @@ class ArabesqueEngine:
             if config.deadline_seconds is None
             else time.monotonic() + config.deadline_seconds
         )
-        processed_total = 0
+
+        checkpointer = self._checkpointer
+        if checkpointer is None and config.checkpoint_dir is not None:
+            # Imported lazily: the checkpoint package imports this module.
+            from ..checkpoint.snapshot import CheckpointWriter
+
+            checkpointer = CheckpointWriter(
+                config.checkpoint_dir,
+                keep=config.checkpoint_keep,
+                fresh=resume_state is None,
+            )
+        if checkpointer is not None:
+            from ..checkpoint.snapshot import build_payload
 
         from ..runtime.base import make_backend
 
         backend = self._backend or make_backend(config)
         owns_backend = self._backend is None
+        if config.storage == SPILL_STORAGE:
+            self._spill_root = tempfile.mkdtemp(
+                prefix="arabesque-spill-", dir=config.spill_dir
+            )
         try:
-            global_store = None
-            for step in range(config.max_exploration_steps):
+            for step in range(start_step, config.max_exploration_steps):
+                if cancel is not None and cancel.is_set():
+                    raise RunCancelled(
+                        f"run cancelled at the step-{step} barrier"
+                    )
                 stats = StepStats(step=step)
                 step_metrics = metrics.new_superstep()
                 step_started = time.perf_counter()
@@ -315,9 +385,14 @@ class ArabesqueEngine:
                 agg_channel.step_barrier(merge_partials(agg_channel, agg_partials))
                 out_channel.step_barrier(merge_partials(out_channel, out_partials))
 
+                prev_store = global_store
                 global_store = self._merge_stores(
                     local_stores, step_metrics, stats, embedding_size=step + 1
                 )
+                if isinstance(prev_store, SpillListStore):
+                    # The previous step's segments were fully read by this
+                    # step's extraction passes; reclaim the disk now.
+                    prev_store.dispose()
                 stats.stored_embeddings = global_store.num_embeddings
                 stats.storage_bytes = global_store.wire_size()
                 stats.list_bytes = self._list_equivalent_bytes(global_store, step + 1)
@@ -330,6 +405,34 @@ class ArabesqueEngine:
                 processed_total += stats.processed_embeddings
                 if global_store.is_empty():
                     break
+                # Snapshot hook, at the barrier right after the store
+                # merge: everything a later step reads (merged store,
+                # channel state, pattern cache, run counters) is captured
+                # here, before the budget checks below so a budget-tripped
+                # run can be resumed with a larger allowance.  The final
+                # empty barrier is never snapshotted — the run is done.
+                if (
+                    checkpointer is not None
+                    and (step + 1) % config.checkpoint_every == 0
+                ):
+                    checkpointer.write(
+                        step,
+                        build_payload(
+                            graph=self.graph,
+                            config=config,
+                            mode=self._mode,
+                            step=step,
+                            processed_total=processed_total,
+                            result=result,
+                            store=global_store,
+                            canonicalizer=canonicalizer,
+                            agg_channel=agg_channel,
+                            out_channel=out_channel,
+                            computation=computation,
+                            wall_seconds=prior_wall
+                            + (time.perf_counter() - started),
+                        ),
+                    )
                 # Budget checks, cooperatively at the step barrier: a run
                 # that just finished (empty set F, the break above) always
                 # returns its result — budgets only stop runs that still
@@ -362,8 +465,13 @@ class ArabesqueEngine:
         finally:
             if owns_backend:
                 backend.close()
+            if self._spill_root is not None:
+                # Barrier snapshots carry the store's rows, so spilled
+                # segments never need to outlive the run.
+                shutil.rmtree(self._spill_root, ignore_errors=True)
+                self._spill_root = None
 
-        result.wall_seconds = time.perf_counter() - started
+        result.wall_seconds = prior_wall + (time.perf_counter() - started)
         result.output_aggregates = out_channel.finalize()
         result.final_aggregates = agg_channel.latest()
         result.pattern_requests = canonicalizer.requests
@@ -408,6 +516,24 @@ class ArabesqueEngine:
             for store in local_stores:
                 merged.merge(store)
             merged.sort()
+            step_metrics.messages_sent += merged.num_embeddings
+            step_metrics.bytes_sent += merged.wire_size()
+            stats.shipped_format = LIST_STORAGE
+            return merged
+
+        if self.config.storage == SPILL_STORAGE:
+            # Same wire semantics as list mode (each embedding ships once
+            # to its expander), but the merged store — like the worker
+            # locals — spills past the byte budget instead of growing.
+            merged = SpillListStore(
+                directory=self._spill_root,
+                budget_nbytes=self.config.spill_budget_nbytes,
+                tag=f"s{stats.step}m",
+            )
+            for store in local_stores:
+                merged.merge(store)
+                if isinstance(store, SpillListStore):
+                    store.dispose()
             step_metrics.messages_sent += merged.num_embeddings
             step_metrics.bytes_sent += merged.wire_size()
             stats.shipped_format = LIST_STORAGE

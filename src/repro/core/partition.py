@@ -48,7 +48,10 @@ def measure_partition(
     """Extract every worker's share and report the balance.
 
     Also validates the partition invariant: every stored embedding is
-    extracted by exactly one worker (shares sum to the store's content).
+    extracted by exactly one worker — the shares must sum to what a single
+    worker extracting everything would see (the same prefix filter applied,
+    so spurious-path discards cancel out).  A store whose partitioning
+    drops or duplicates embeddings raises ``ValueError``.
     """
     shares = []
     for worker_id in range(num_workers):
@@ -56,6 +59,14 @@ def measure_partition(
             1 for _ in store.extract_partition(worker_id, num_workers, prefix_filter)
         )
         shares.append(count)
+    whole = sum(1 for _ in store.extract_partition(0, 1, prefix_filter))
+    total = sum(shares)
+    if total != whole:
+        raise ValueError(
+            f"partition invariant violated: {num_workers} workers extract "
+            f"{total} embeddings but the store holds {whole} — the split "
+            "drops or duplicates embeddings"
+        )
     return PartitionReport(num_workers=num_workers, shares=tuple(shares))
 
 

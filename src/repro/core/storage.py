@@ -9,15 +9,25 @@ are implemented behind one interface:
   broadcast (sections 5.2-5.3);
 * :class:`ListStore` — explicit word lists, the "No ODAGs" configuration of
   Figure 10 (also what the real system falls back to when ODAGs compress
-  poorly, e.g. the Instagram runs of Table 5).
+  poorly, e.g. the Instagram runs of Table 5);
+* :class:`SpillListStore` — list semantics with out-of-core backing: past a
+  configurable in-memory byte budget, embedding blocks are sorted and
+  spilled to disk segments, then streamed back in global order for
+  extraction — step state is no longer bounded by RAM (the ASYMP /
+  G-thinker direction named in the ROADMAP).
 
-Both report wire sizes so the Figure 9 compression experiment can compare
-them on identical embedding sets, and both support deterministic rank-range
+All report wire sizes so the Figure 9 compression experiment can compare
+them on identical embedding sets, and all support deterministic rank-range
 partitioning so worker counts do not change what is explored.
 """
 
 from __future__ import annotations
 
+import heapq
+import os
+import pickle
+import shutil
+import tempfile
 from typing import Callable, Iterator
 
 from .odag import Odag, PrefixFilter
@@ -30,10 +40,23 @@ LIST_STORAGE = "list"
 #: exploration steps with very large and sparse graphs ... we can revert to
 #: using embedding lists").
 ADAPTIVE_STORAGE = "adaptive"
+#: List-format storage that spills sorted embedding segments to disk past
+#: an in-memory byte budget (see :class:`SpillListStore`).
+SPILL_STORAGE = "spill"
 #: Every valid ``ArabesqueConfig.storage`` value — the single source of
 #: truth shared by config validation, the CLI's ``--storage`` choices, and
 #: the session facade's ``.storage()`` option.
-STORAGE_MODES = (ODAG_STORAGE, LIST_STORAGE, ADAPTIVE_STORAGE)
+STORAGE_MODES = (ODAG_STORAGE, LIST_STORAGE, ADAPTIVE_STORAGE, SPILL_STORAGE)
+
+#: Default in-memory byte allowance of a :class:`SpillListStore` before it
+#: spills a segment (under the same wire model :meth:`ListStore.wire_size`
+#: reports, so budgets and Figure 9 numbers are directly comparable).
+DEFAULT_SPILL_BUDGET_NBYTES = 4 << 20
+
+#: Rows per pickle record inside a spilled segment file — segments are
+#: written and re-read in bounded chunks so replaying a segment never
+#: materializes it whole.
+_SEGMENT_CHUNK_ROWS = 2048
 
 
 def _pattern_sort_key(pattern: Pattern) -> tuple:
@@ -218,10 +241,236 @@ class ListStore(EmbeddingStore):
                 yield pattern, words
 
 
-def make_store(storage_mode: str) -> EmbeddingStore:
+def _spill_row_key(row: tuple[Pattern, tuple[int, ...]]) -> tuple:
+    """Global sort key of one ``(pattern, words)`` row — patterns in
+    :func:`_pattern_sort_key` order, words ascending within a pattern,
+    exactly the order :meth:`ListStore.extract_partition` walks."""
+    return (_pattern_sort_key(row[0]), row[1])
+
+
+class SpillListStore(EmbeddingStore):
+    """List-format storage with spill-to-disk past an in-memory byte budget.
+
+    Semantically identical to :class:`ListStore` — exact embeddings, no
+    spurious paths, contiguous per-pattern rank-range partitioning — but
+    the resident set is bounded: once the in-memory tail exceeds
+    ``budget_nbytes`` (measured under the list wire model, so budgets are
+    comparable to :meth:`ListStore.wire_size`), the tail is sorted into
+    ``(pattern, words)`` row order and appended to a segment file.
+    Extraction streams a ``heapq.merge`` over the sorted segments plus the
+    sorted tail, reproducing the *global* sorted order a merged-and-sorted
+    ``ListStore`` would extract — which is what keeps spill runs
+    byte-identical to list runs across backends and worker counts.
+
+    ``directory`` is where segment files land; ``None`` creates (and owns)
+    a private temp directory on first spill.  ``tag`` prefixes this store's
+    segment filenames so many stores (per step × worker) can share one
+    spill root.  The store is picklable — the process backend ships only
+    segment *paths* and the in-memory tail back to the engine, not the
+    spilled bytes.  :meth:`dispose` deletes the segment files once the
+    store's rows have been merged elsewhere.
+    """
+
+    def __init__(
+        self,
+        directory: str | None = None,
+        budget_nbytes: int = DEFAULT_SPILL_BUDGET_NBYTES,
+        tag: str = "seg",
+    ) -> None:
+        if budget_nbytes < 1:
+            raise ValueError("spill budget_nbytes must be >= 1")
+        self._directory = directory
+        self._owns_directory = False
+        self._budget_nbytes = int(budget_nbytes)
+        self._tag = tag
+        self._mem: dict[Pattern, list[tuple[int, ...]]] = {}
+        self._mem_nbytes = 0
+        self._segments: list[str] = []
+        self._counts: dict[Pattern, int] = {}
+        self._wire_nbytes = 0
+        #: High-water mark of the accounted in-memory tail — what the
+        #: spill benchmark compares against ``ListStore.wire_size()``.
+        self.peak_memory_nbytes = 0
+        #: Segments written so far (observability + tests).
+        self.spill_count = 0
+
+    @property
+    def budget_nbytes(self) -> int:
+        return self._budget_nbytes
+
+    def memory_nbytes(self) -> int:
+        """Accounted bytes of the resident (unspilled) tail."""
+        return self._mem_nbytes
+
+    @property
+    def num_segments(self) -> int:
+        return len(self._segments)
+
+    def add(self, pattern: Pattern, words: tuple[int, ...]) -> None:
+        if pattern in self._counts:
+            self._counts[pattern] += 1
+        else:
+            self._counts[pattern] = 1
+            header = pattern.wire_size() + 4
+            self._wire_nbytes += header
+            self._mem_nbytes += header
+        row_nbytes = 4 + 4 * len(words)
+        self._wire_nbytes += row_nbytes
+        self._mem_nbytes += row_nbytes
+        self._mem.setdefault(pattern, []).append(words)
+        if self._mem_nbytes > self.peak_memory_nbytes:
+            self.peak_memory_nbytes = self._mem_nbytes
+        if self._mem_nbytes > self._budget_nbytes:
+            self._spill()
+
+    def _ensure_directory(self) -> str:
+        if self._directory is None:
+            self._directory = tempfile.mkdtemp(prefix="arabesque-spill-")
+            self._owns_directory = True
+        else:
+            os.makedirs(self._directory, exist_ok=True)
+        return self._directory
+
+    def _spill(self) -> None:
+        """Sort the in-memory tail into row order and append a segment."""
+        if not self._mem:
+            return
+        rows = [
+            (pattern, words)
+            for pattern, words_list in self._mem.items()
+            for words in words_list
+        ]
+        rows.sort(key=_spill_row_key)
+        path = os.path.join(
+            self._ensure_directory(),
+            f"{self._tag}-{len(self._segments):05d}.seg",
+        )
+        with open(path, "wb") as handle:
+            for start in range(0, len(rows), _SEGMENT_CHUNK_ROWS):
+                pickle.dump(
+                    rows[start : start + _SEGMENT_CHUNK_ROWS],
+                    handle,
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+        self._segments.append(path)
+        self.spill_count += 1
+        self._mem.clear()
+        self._mem_nbytes = 0
+
+    def is_empty(self) -> bool:
+        return not self._counts
+
+    @property
+    def num_embeddings(self) -> int:
+        return sum(self._counts.values())
+
+    def patterns(self) -> list[Pattern]:
+        return sorted(self._counts, key=_pattern_sort_key)
+
+    def wire_size(self) -> int:
+        """Same wire model as :meth:`ListStore.wire_size`, tracked
+        incrementally (content-only, so identical for identical rows no
+        matter how they were segmented)."""
+        return self._wire_nbytes
+
+    def merge(self, other: "SpillListStore | ListStore") -> None:
+        """Stream another list-format store's rows through :meth:`add`
+        (spilling as the budget demands)."""
+        if isinstance(other, SpillListStore):
+            rows: Iterator[tuple[Pattern, tuple[int, ...]]] = other._iter_all()
+        elif isinstance(other, ListStore):
+            rows = (
+                (pattern, words)
+                for pattern, words_list in other._lists.items()
+                for words in words_list
+            )
+        else:
+            raise TypeError(
+                f"cannot merge {type(other).__name__} into SpillListStore"
+            )
+        for pattern, words in rows:
+            self.add(pattern, words)
+
+    def sort(self) -> None:
+        """No-op for interface parity with :class:`ListStore`: extraction
+        always streams the globally sorted merge of segments + tail."""
+
+    @staticmethod
+    def _iter_segment(path: str) -> Iterator[tuple[Pattern, tuple[int, ...]]]:
+        with open(path, "rb") as handle:
+            while True:
+                try:
+                    chunk = pickle.load(handle)
+                except EOFError:
+                    return
+                yield from chunk
+
+    def _iter_all(self) -> Iterator[tuple[Pattern, tuple[int, ...]]]:
+        """Every stored row in global sorted order, streamed."""
+        iterators = [self._iter_segment(path) for path in self._segments]
+        mem_rows = [
+            (pattern, words)
+            for pattern, words_list in self._mem.items()
+            for words in words_list
+        ]
+        mem_rows.sort(key=_spill_row_key)
+        iterators.append(iter(mem_rows))
+        return heapq.merge(*iterators, key=_spill_row_key)
+
+    def extract_partition(
+        self,
+        worker_id: int,
+        num_workers: int,
+        prefix_filter: PrefixFilter | None = None,
+    ) -> Iterator[tuple[Pattern, tuple[int, ...]]]:
+        """Contiguous per-pattern rank-range slices of the sorted stream —
+        the exact slices :meth:`ListStore.extract_partition` yields for the
+        same content.  Stored rows are exact, so ``prefix_filter`` is not
+        consulted (nothing spurious to discard)."""
+        current: Pattern | None = None
+        index = start = end = 0
+        for pattern, words in self._iter_all():
+            if pattern != current:
+                current = pattern
+                total = self._counts[pattern]
+                start = total * worker_id // num_workers
+                end = total * (worker_id + 1) // num_workers
+                index = 0
+            if start <= index < end:
+                yield pattern, words
+            index += 1
+
+    def dispose(self) -> None:
+        """Delete this store's segment files (idempotent).  Call once the
+        rows have been merged into another store; the store must not be
+        extracted from afterwards."""
+        for path in self._segments:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        self._segments.clear()
+        if self._owns_directory and self._directory is not None:
+            shutil.rmtree(self._directory, ignore_errors=True)
+            self._owns_directory = False
+
+
+def make_store(
+    storage_mode: str,
+    *,
+    spill_dir: str | None = None,
+    spill_budget_nbytes: int = DEFAULT_SPILL_BUDGET_NBYTES,
+    spill_tag: str = "seg",
+) -> EmbeddingStore:
     """Factory for the configured storage strategy."""
     if storage_mode == ODAG_STORAGE:
         return OdagStore()
     if storage_mode == LIST_STORAGE:
         return ListStore()
+    if storage_mode == SPILL_STORAGE:
+        return SpillListStore(
+            directory=spill_dir,
+            budget_nbytes=spill_budget_nbytes,
+            tag=spill_tag,
+        )
     raise ValueError(f"unknown storage mode {storage_mode!r}")

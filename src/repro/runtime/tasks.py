@@ -52,8 +52,10 @@ from typing import Any, Hashable, Sequence
 from ..core.aggregation import LocalAggregation
 from ..core.budget import (
     BudgetExceeded,
+    CancelFlag,
     DEADLINE_BUDGET,
     DEADLINE_CHECK_INTERVAL,
+    RunCancelled,
 )
 from ..core.canonical import extension_checker, full_checker
 from ..core.computation import Computation, ComputationContext
@@ -61,7 +63,15 @@ from ..core.embedding import make_embedding
 from ..core.extension import extensions
 from ..core.pattern import Pattern, PatternCanonicalizer
 from ..core.results import StepStats, WorkerDelta
-from ..core.storage import EmbeddingStore, LIST_STORAGE, ListStore, OdagStore
+from ..core.storage import (
+    DEFAULT_SPILL_BUDGET_NBYTES,
+    EmbeddingStore,
+    LIST_STORAGE,
+    ListStore,
+    OdagStore,
+    SPILL_STORAGE,
+    SpillListStore,
+)
 from ..plan.dag import PlanDAG, bound_stepper
 from ..plan.guided import (
     guided_extension_check,
@@ -118,6 +128,15 @@ class StepContext:
     #: on Linux, so the instant is comparable inside the process
     #: backend's forked workers too.
     deadline_at: float | None = None
+    #: Spill-mode only: the run's spill root where this step's worker
+    #: stores write their segments, and the per-store byte budget.
+    spill_dir: str | None = None
+    spill_budget_nbytes: int = DEFAULT_SPILL_BUDGET_NBYTES
+    #: Cooperative cancellation flag, probed alongside the deadline.
+    #: Shared with serial/thread workers; the process backend's pickled
+    #: copies are inert (barrier-granularity cancel there — see
+    #: :class:`~repro.core.budget.CancelFlag`).
+    cancel: CancelFlag | None = None
 
 
 class WorkerTaskContext(ComputationContext):
@@ -167,16 +186,22 @@ class WorkerTaskContext(ComputationContext):
         self._delta.counters.domain_hits += count
 
 
-def _probe_deadline(deadline_at: float | None, count: int) -> None:
-    """Periodic in-step deadline probe (every DEADLINE_CHECK_INTERVAL
-    embeddings) so one pathological step cannot run minutes past its
-    budget before reaching the barrier.  The task sees only the expiry
-    instant; the engine re-raises with the run-level limit filled in."""
-    if (
-        deadline_at is not None
-        and count % DEADLINE_CHECK_INTERVAL == 0
-        and time.monotonic() > deadline_at
-    ):
+def _probe_interrupts(
+    deadline_at: float | None,
+    cancel: CancelFlag | None,
+    count: int,
+) -> None:
+    """Periodic in-step probe (every DEADLINE_CHECK_INTERVAL embeddings)
+    of the two cooperative interrupts — the deadline budget and external
+    cancellation — so one pathological step cannot run minutes past its
+    cutoff before reaching the barrier.  The task sees only the expiry
+    instant; the engine re-raises deadline trips with the run-level limit
+    filled in."""
+    if count % DEADLINE_CHECK_INTERVAL != 0:
+        return
+    if cancel is not None and cancel.is_set():
+        raise RunCancelled("run cancelled mid-step")
+    if deadline_at is not None and time.monotonic() > deadline_at:
         raise BudgetExceeded(DEADLINE_BUDGET)
 
 
@@ -213,9 +238,19 @@ def run_step_task(context: StepContext, worker_id: int) -> WorkerDelta:
     )
     local_agg = LocalAggregation(computation.reduce, canonicalizer)
     local_out = LocalAggregation(computation.reduce_output, canonicalizer)
-    store: EmbeddingStore = (
-        ListStore() if context.storage == LIST_STORAGE else OdagStore()
-    )
+    store: EmbeddingStore
+    if context.storage == LIST_STORAGE:
+        store = ListStore()
+    elif context.storage == SPILL_STORAGE:
+        # Per-(step, worker) segment tag so every task in the step can
+        # share the run's spill root without filename collisions.
+        store = SpillListStore(
+            directory=context.spill_dir,
+            budget_nbytes=context.spill_budget_nbytes,
+            tag=f"s{context.step}w{worker_id}",
+        )
+    else:
+        store = OdagStore()
     delta = WorkerDelta(
         worker_id=worker_id,
         local_store=store,
@@ -293,9 +328,10 @@ def _initial_pass(
     start = total * worker_id // num_workers
     end = total * (worker_id + 1) // num_workers
     deadline_at = context.deadline_at
+    cancel = context.cancel
     work = 0
     for index in range(start, end):
-        _probe_deadline(deadline_at, index - start)
+        _probe_interrupts(deadline_at, cancel, index - start)
         word = universe[index]
         stats.candidates_generated += 1
         if plan is not None and not check_word(plan, graph, (), word):
@@ -358,7 +394,9 @@ def _expansion_pass(
             # the ODAG prefix filter above).
             generate = None
     profile = context.profile_phases
-    verify_pattern = context.storage != LIST_STORAGE
+    # List-format stores (plain or spilled) hold exact embeddings under
+    # their true canonical pattern; only ODAG paths can be spurious.
+    verify_pattern = context.storage not in (LIST_STORAGE, SPILL_STORAGE)
     stats = delta.counters
     phase_seconds = delta.phase_seconds
     global_store = context.global_store
@@ -379,9 +417,10 @@ def _expansion_pass(
         worker_id, context.num_workers, prefix_ok
     )
     deadline_at = context.deadline_at
+    cancel = context.cancel
     probe_count = 0
     while True:
-        _probe_deadline(deadline_at, probe_count)
+        _probe_interrupts(deadline_at, cancel, probe_count)
         probe_count += 1
         if profile:
             t0 = time.perf_counter()

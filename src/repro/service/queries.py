@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Iterator
 
+from ..core.budget import CancelFlag
 from ..core.pattern import Pattern
 from ..plan.shapes import NAMED_SHAPES
 from ..session import Miner
@@ -273,8 +274,21 @@ def parse_request(workload: str, body: dict) -> QuerySpec:
 # ----------------------------------------------------------------------
 # Execution
 # ----------------------------------------------------------------------
-def build_query(miner: Miner, spec: QuerySpec) -> Query:
-    """Chain one facade query for ``spec`` (nothing runs yet)."""
+def build_query(
+    miner: Miner,
+    spec: QuerySpec,
+    *,
+    cancel: CancelFlag | None = None,
+    checkpoint_dir: str | None = None,
+) -> Query:
+    """Chain one facade query for ``spec`` (nothing runs yet).
+
+    ``cancel`` and ``checkpoint_dir`` are *server-side* execution
+    options — the server arms a cancel flag per request to abort runs
+    whose client disconnected, and (when configured with a checkpoint
+    root) snapshots long runs — so they live here as keywords, not on
+    the request-derived :class:`QuerySpec`.
+    """
     if spec.workload == "motifs":
         query: Query = miner.motifs(spec.max_size, min_size=spec.min_size)
     elif spec.workload == "match":
@@ -305,6 +319,10 @@ def build_query(miner: Miner, spec: QuerySpec) -> Query:
         query.deadline(spec.deadline_seconds)
     if spec.max_embeddings is not None:
         query.max_embeddings(spec.max_embeddings)
+    if cancel is not None:
+        query.cancellation(cancel)
+    if checkpoint_dir is not None:
+        query.checkpoint(checkpoint_dir)
     return query
 
 
@@ -366,9 +384,18 @@ def encode_result(spec: QuerySpec, result: MiningResult) -> dict[str, Any]:
     return payload
 
 
-def run_query(miner: Miner, spec: QuerySpec) -> dict[str, Any]:
+def run_query(
+    miner: Miner,
+    spec: QuerySpec,
+    *,
+    cancel: CancelFlag | None = None,
+    checkpoint_dir: str | None = None,
+) -> dict[str, Any]:
     """Execute one spec against a warm session; return its payload."""
-    return encode_result(spec, build_query(miner, spec).run())
+    query = build_query(
+        miner, spec, cancel=cancel, checkpoint_dir=checkpoint_dir
+    )
+    return encode_result(spec, query.run())
 
 
 def stream_rows(payload: dict[str, Any]) -> Iterator[dict[str, Any]]:

@@ -7,8 +7,12 @@ requests — the whole point of the session caches built in earlier PRs.
 On top of the miner pool sits a **whole-result cache** keyed by
 ``(graph name, query signature, config signature)``: loaded graphs are
 immutable, so a cached result can never go stale and invalidation is
-free; an entry lives until its graph is evicted or the LRU cap pushes
-it out.
+free; an entry lives until its graph is evicted or the byte-accounted
+LRU cap pushes it out.  Each cached payload is deep-sized at insert
+time (:func:`payload_nbytes`), so one query returning a million matches
+is accounted as the megabytes it is, not as "one entry" — the failure
+mode of the old count-based cap.  A single payload larger than the
+whole budget is never cached (counted in ``result_oversize``).
 
 Memory accounting rides :meth:`repro.graph.LabeledGraph.memory_nbytes`:
 each entry records its graph's footprint at load time, and when a
@@ -25,6 +29,7 @@ write wins, both correct), which beats serializing every request.
 
 from __future__ import annotations
 
+import sys
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -45,6 +50,31 @@ class UnknownGraphError(ServiceError):
 #: A result-cache key: (graph name, query signature, config signature).
 ResultKey = tuple[str, str, str]
 
+#: Default result-cache budget: plenty for thousands of typical payloads
+#: while keeping a handful of huge match lists from hoarding the heap.
+DEFAULT_RESULT_CACHE_NBYTES = 16 << 20
+
+
+def payload_nbytes(obj: Any) -> int:
+    """Deep ``sys.getsizeof`` of a JSON-able payload (dicts, lists,
+    strings, numbers).  Shared objects (interned ints/strings) are
+    counted once — matching what they actually cost the heap."""
+    seen: set[int] = set()
+    total = 0
+    stack = [obj]
+    while stack:
+        item = stack.pop()
+        if id(item) in seen:
+            continue
+        seen.add(id(item))
+        total += sys.getsizeof(item)
+        if isinstance(item, dict):
+            stack.extend(item.keys())
+            stack.extend(item.values())
+        elif isinstance(item, (list, tuple, set, frozenset)):
+            stack.extend(item)
+    return total
+
 
 @dataclass
 class RegistryCacheInfo:
@@ -58,8 +88,10 @@ class RegistryCacheInfo:
     result_hits: int = 0
     #: Queries that had to run the engine.
     result_misses: int = 0
-    #: Cached results dropped (LRU cap or graph eviction).
+    #: Cached results dropped (LRU byte cap or graph eviction).
     result_evictions: int = 0
+    #: Results never cached because one payload exceeds the whole budget.
+    result_oversize: int = 0
 
 
 @dataclass
@@ -80,32 +112,39 @@ class MinerRegistry:
     """Load/evict graphs by name; serve warm sessions and cached results.
 
     ``memory_limit_nbytes`` bounds the summed ``memory_nbytes()`` of the
-    pooled graphs (``None`` = unbounded); ``max_cached_results`` bounds
-    the whole-result cache entry count (it stores small JSON-able
-    payloads, so a count cap is the right shape).
+    pooled graphs (``None`` = unbounded); ``result_cache_limit_nbytes``
+    bounds the whole-result cache by **deep payload bytes**
+    (:func:`payload_nbytes`) — 0 disables result caching entirely.
     """
 
     def __init__(
         self,
         *,
         memory_limit_nbytes: int | None = None,
-        max_cached_results: int = 1024,
+        result_cache_limit_nbytes: int = DEFAULT_RESULT_CACHE_NBYTES,
     ) -> None:
         if memory_limit_nbytes is not None and memory_limit_nbytes < 1:
             raise ServiceError(
                 "memory_limit_nbytes must be positive when given "
                 f"(got {memory_limit_nbytes!r})"
             )
-        if max_cached_results < 0:
+        if (
+            not isinstance(result_cache_limit_nbytes, int)
+            or isinstance(result_cache_limit_nbytes, bool)
+            or result_cache_limit_nbytes < 0
+        ):
             raise ServiceError(
-                f"max_cached_results must be >= 0 (got {max_cached_results!r})"
+                "result_cache_limit_nbytes must be an integer >= 0 "
+                f"(got {result_cache_limit_nbytes!r})"
             )
         self.memory_limit_nbytes = memory_limit_nbytes
-        self.max_cached_results = max_cached_results
+        self.result_cache_limit_nbytes = result_cache_limit_nbytes
         #: name -> entry, in least-recently-used-first order.
         self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
-        #: result key -> cached payload, least-recently-used-first.
-        self._results: "OrderedDict[ResultKey, Any]" = OrderedDict()
+        #: result key -> (payload, deep nbytes), least-recently-used-first.
+        self._results: "OrderedDict[ResultKey, tuple[Any, int]]" = OrderedDict()
+        #: Running sum of the cached payloads' deep sizes.
+        self._results_nbytes = 0
         self._info = RegistryCacheInfo()
         self._lock = threading.RLock()
 
@@ -210,6 +249,11 @@ class MinerRegistry:
                 },
                 "memory_nbytes": self._total_nbytes(),
                 "memory_limit_nbytes": self.memory_limit_nbytes,
+                "result_cache": {
+                    "entries": len(self._results),
+                    "nbytes": self._results_nbytes,
+                    "limit_nbytes": self.result_cache_limit_nbytes,
+                },
             }
 
     # ------------------------------------------------------------------
@@ -235,18 +279,26 @@ class MinerRegistry:
             if key in self._results:
                 self._results.move_to_end(key)
                 self._info.result_hits += 1
-                return self._results[key], True
+                return self._results[key][0], True
             self._info.result_misses += 1
         payload = compute(miner)
-        with self._lock:
-            if self.max_cached_results > 0:
+        limit = self.result_cache_limit_nbytes
+        if limit > 0:
+            nbytes = payload_nbytes(payload)  # deep-size outside the lock
+            with self._lock:
                 entry = self._entries.get(graph_name)
-                if entry is not None:  # graph may have been evicted mid-run
-                    self._results[key] = payload
-                    self._results.move_to_end(key)
+                if nbytes > limit:
+                    self._info.result_oversize += 1
+                elif entry is not None:  # graph may have been evicted mid-run
+                    old = self._results.pop(key, None)  # racing identical query
+                    if old is not None:
+                        self._results_nbytes -= old[1]
+                    self._results[key] = (payload, nbytes)
+                    self._results_nbytes += nbytes
                     entry.result_keys.add(key)
-                    while len(self._results) > self.max_cached_results:
-                        old_key, _ = self._results.popitem(last=False)
+                    while self._results_nbytes > limit:
+                        old_key, (_, old_nbytes) = self._results.popitem(last=False)
+                        self._results_nbytes -= old_nbytes
                         self._info.result_evictions += 1
                         old_entry = self._entries.get(old_key[0])
                         if old_entry is not None:
@@ -258,6 +310,11 @@ class MinerRegistry:
         with self._lock:
             return RegistryCacheInfo(**vars(self._info))
 
+    def result_cache_nbytes(self) -> int:
+        """Deep bytes currently held by the whole-result cache."""
+        with self._lock:
+            return self._results_nbytes
+
     # ------------------------------------------------------------------
     # Internals (call with the lock held)
     # ------------------------------------------------------------------
@@ -267,13 +324,16 @@ class MinerRegistry:
     def _drop_results_for(self, name: str) -> None:
         dropped = [key for key in self._results if key[0] == name]
         for key in dropped:
-            del self._results[key]
+            _, nbytes = self._results.pop(key)
+            self._results_nbytes -= nbytes
         self._info.result_evictions += len(dropped)
 
 
 __all__ = [
+    "DEFAULT_RESULT_CACHE_NBYTES",
     "MinerRegistry",
     "RegistryCacheInfo",
     "ServiceError",
     "UnknownGraphError",
+    "payload_nbytes",
 ]

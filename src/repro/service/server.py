@@ -32,6 +32,13 @@ the fix is narrowing the query or raising its budget.
 one meta row, then one row per result item — written incrementally with
 backpressure (``await drain()`` per chunk), riding the same result-cache
 payloads as unary responses.
+
+**Disconnect cancellation**: every query arms a
+:class:`~repro.core.budget.CancelFlag` watched by a per-connection EOF
+probe; a client that hangs up mid-run stops the engine at its next
+mid-step probe (:class:`~repro.core.budget.RunCancelled`) instead of
+finishing work nobody will read — counted in
+``stats.cancelled_disconnects``.
 """
 
 from __future__ import annotations
@@ -39,13 +46,14 @@ from __future__ import annotations
 import asyncio
 import dataclasses
 import json
+import os
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Awaitable, Callable
 from urllib.parse import unquote, urlsplit
 
-from ..core.budget import BudgetExceeded
+from ..core.budget import BudgetExceeded, CancelFlag, RunCancelled
 from .queries import WORKLOADS, parse_request, run_query, stream_rows
 from .registry import MinerRegistry, ServiceError, UnknownGraphError
 
@@ -84,6 +92,8 @@ class ServiceStats:
     server_errors: int = 0
     #: NDJSON rows written by streaming responses.
     streamed_rows: int = 0
+    #: Runs aborted because their client disconnected mid-query.
+    cancelled_disconnects: int = 0
 
 
 class QueryService:
@@ -93,6 +103,11 @@ class QueryService:
     worker-pool width); ``max_pending`` bounds queries waiting for a
     slot; ``default_deadline_seconds``/``default_max_embeddings`` arm
     every admitted query that does not bring its own budgets.
+
+    ``checkpoint_root``, when set, snapshots every cache-miss query's
+    engine run into a unique directory under it (one per admitted run,
+    ``query-<n>``) — an operator can ``repro resume`` a run that died
+    with the server (see docs/checkpoint.md).
     """
 
     def __init__(
@@ -103,6 +118,7 @@ class QueryService:
         max_pending: int = 16,
         default_deadline_seconds: float | None = None,
         default_max_embeddings: int | None = None,
+        checkpoint_root: str | None = None,
     ) -> None:
         if max_concurrent < 1:
             raise ServiceError(
@@ -117,6 +133,10 @@ class QueryService:
         self.max_pending = max_pending
         self.default_deadline_seconds = default_deadline_seconds
         self.default_max_embeddings = default_max_embeddings
+        self.checkpoint_root = checkpoint_root
+        #: Monotonic per-run sequence for unique checkpoint directories
+        #: (only the single-threaded event loop bumps it).
+        self._run_seq = 0
         self.stats = ServiceStats()
         #: Queries admitted and not yet finished (running + waiting).
         #: Only the (single-threaded) event loop touches it, so the
@@ -140,13 +160,24 @@ class QueryService:
             overrides["max_embeddings"] = self.default_max_embeddings
         return dataclasses.replace(spec, **overrides) if overrides else spec
 
-    async def execute(self, workload: str, body: dict) -> dict[str, Any]:
+    async def execute(
+        self,
+        workload: str,
+        body: dict,
+        *,
+        cancel: CancelFlag | None = None,
+    ) -> dict[str, Any]:
         """Parse, admit, and run one query; return the response envelope.
+
+        ``cancel``, when given, is armed on the engine run — the HTTP
+        transport sets it from a disconnect watcher so an abandoned
+        query stops burning the pool at its next mid-step probe.
 
         Raises the typed errors the transport maps to status codes:
         :class:`ServiceError` (400), :class:`UnknownGraphError` (404),
-        :class:`~repro.core.budget.BudgetExceeded` (422), and
-        :class:`_Busy` (429).
+        :class:`~repro.core.budget.BudgetExceeded` (422),
+        :class:`~repro.core.budget.RunCancelled` (no response — the
+        client is gone), and :class:`_Busy` (429).
         """
         spec = parse_request(workload, body)
         graph_name = body.get("graph")
@@ -162,6 +193,12 @@ class QueryService:
                 f"server busy: {self.max_concurrent} queries running and "
                 f"{self.max_pending} waiting — retry later"
             )
+        checkpoint_dir = None
+        if self.checkpoint_root is not None:
+            self._run_seq += 1
+            checkpoint_dir = os.path.join(
+                self.checkpoint_root, f"query-{self._run_seq:06d}"
+            )
         self._in_flight += 1
         started = time.perf_counter()
         try:
@@ -172,7 +209,12 @@ class QueryService:
                     graph_name,
                     spec.query_signature(),
                     spec.config_signature(),
-                    lambda miner: run_query(miner, spec),
+                    lambda miner: run_query(
+                        miner,
+                        spec,
+                        cancel=cancel,
+                        checkpoint_dir=checkpoint_dir,
+                    ),
                 ),
             )
         finally:
@@ -254,7 +296,11 @@ class QueryService:
                 return
             self.stats.requests += 1
             try:
-                await self._dispatch(method, path, body, writer)
+                await self._dispatch(method, path, body, reader, writer)
+            except RunCancelled:
+                # The client is gone — nobody to answer; the run stopped
+                # at its next probe instead of burning a pool slot.
+                self.stats.cancelled_disconnects += 1
             except _HttpError as exc:
                 self.stats.client_errors += 1
                 await _send_json(writer, exc.status, {"error": exc.payload})
@@ -317,6 +363,7 @@ class QueryService:
         method: str,
         path: str,
         body: dict | None,
+        reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
     ) -> None:
         if method == "GET" and path == "/health":
@@ -349,7 +396,14 @@ class QueryService:
                     )
             else:
                 workload = path.lstrip("/")
-            envelope = await self.execute(workload, body)
+            cancel = CancelFlag()
+            watcher = asyncio.ensure_future(
+                _watch_disconnect(reader, cancel)
+            )
+            try:
+                envelope = await self.execute(workload, body, cancel=cancel)
+            finally:
+                watcher.cancel()
             if envelope["stream"]:
                 await self._send_ndjson(writer, envelope)
             else:
@@ -381,6 +435,25 @@ class QueryService:
             self.stats.streamed_rows += 1
             await writer.drain()
         await writer.drain()
+
+
+async def _watch_disconnect(
+    reader: asyncio.StreamReader, cancel: CancelFlag
+) -> None:
+    """Set ``cancel`` when the client hangs up mid-query.
+
+    After the request is fully read, a well-behaved client sends nothing
+    more (every response carries ``Connection: close``), so the next
+    read completing means EOF — the client disconnected.  The engine's
+    mid-step probes then raise :class:`RunCancelled` within ~512
+    embeddings instead of finishing a run nobody will read.
+    """
+    try:
+        data = await reader.read(1)
+    except (ConnectionError, OSError):
+        data = b""
+    if not data:
+        cancel.set()
 
 
 class _Busy(RuntimeError):

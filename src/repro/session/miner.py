@@ -181,6 +181,33 @@ class Miner:
         session's cached graph state and the fluent option surface."""
         return ComputeQuery(self, computation)
 
+    def resume(
+        self, run_dir: str, config: ArabesqueConfig | None = None
+    ) -> RunResult:
+        """Resume a crashed checkpointed run from ``run_dir`` on this
+        session's graph.
+
+        Queries chained with ``.checkpoint(run_dir)`` snapshot at every
+        BSP barrier; after a crash, ``miner.resume(run_dir)`` restarts
+        from the last barrier and returns the completed
+        :class:`~repro.core.results.RunResult`, byte-identical in
+        ``canonical_signature`` to the uninterrupted run.  The snapshot
+        remembers whether it ran on the labeled graph or the stripped
+        variant (``.unlabeled()``); both are tried, so the caller only
+        needs the same :class:`Miner` dataset.  An unrelated graph — or
+        a ``config`` that changes run semantics — raises the loud
+        mismatch errors from :mod:`repro.checkpoint`.  ``config``, when
+        given, may override execution knobs only (backend, workers,
+        deadline, spill budget, checkpoint cadence).
+        """
+        from ..checkpoint import CheckpointGraphMismatch, resume_run
+
+        try:
+            return resume_run(str(run_dir), self.graph, config=config)
+        except CheckpointGraphMismatch:
+            stripped = self._graph_variant(False)
+            return resume_run(str(run_dir), stripped, config=config)
+
     # ------------------------------------------------------------------
     # Session caches
     # ------------------------------------------------------------------

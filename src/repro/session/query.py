@@ -34,8 +34,10 @@ explicit ``.storage()`` or ``.config()`` always wins.
 from __future__ import annotations
 
 import dataclasses
+import os
 from typing import TYPE_CHECKING, Any, Iterator
 
+from ..core.budget import CancelFlag
 from ..core.computation import Computation
 from ..core.config import ArabesqueConfig, BACKENDS
 from ..core.pattern import Pattern
@@ -85,6 +87,8 @@ class Query:
         self._base_config: ArabesqueConfig | None = None
         self._deadline_seconds: float | None = None
         self._max_embeddings: int | None = None
+        self._checkpoint_dir: str | None = None
+        self._cancel: CancelFlag | None = None
 
     # ------------------------------------------------------------------
     # Chainable execution options (validated eagerly)
@@ -170,6 +174,33 @@ class Query:
                 f"max_embeddings() needs an integer >= 1, got {count!r}"
             )
         self._max_embeddings = count
+        return self
+
+    def checkpoint(self, run_dir: "str | os.PathLike") -> "Query":
+        """Snapshot the run into ``run_dir`` at every BSP barrier, so a
+        crash can be resumed from the last barrier via
+        :meth:`Miner.resume` (or ``repro.checkpoint.resume_run``).  See
+        docs/checkpoint.md for the format and resume semantics."""
+        if not isinstance(run_dir, (str, os.PathLike)) or not str(run_dir):
+            raise SessionError(
+                f"checkpoint() needs a non-empty directory path, "
+                f"got {run_dir!r}"
+            )
+        self._checkpoint_dir = str(run_dir)
+        return self
+
+    def cancellation(self, flag: CancelFlag) -> "Query":
+        """Arm a :class:`~repro.core.budget.CancelFlag`: setting it from
+        another thread makes the run raise a loud
+        :class:`~repro.core.budget.RunCancelled` at the next mid-step
+        probe or BSP barrier.  The query service arms one per request to
+        abort runs whose client disconnected."""
+        if not isinstance(flag, CancelFlag):
+            raise SessionError(
+                "cancellation() needs a repro.core.CancelFlag "
+                f"(got {type(flag).__name__})"
+            )
+        self._cancel = flag
         return self
 
     def config(self, config: ArabesqueConfig) -> "Query":
@@ -289,6 +320,10 @@ class Query:
             overrides["deadline_seconds"] = self._deadline_seconds
         if self._max_embeddings is not None:
             overrides["max_embeddings"] = self._max_embeddings
+        if self._checkpoint_dir is not None:
+            overrides["checkpoint_dir"] = self._checkpoint_dir
+        if self._cancel is not None:
+            overrides["cancel"] = self._cancel
         if self._limit is not None and not self._effective_collect():
             raise SessionError(
                 "limit() caps collected outputs, but the base config has "

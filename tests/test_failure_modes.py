@@ -187,3 +187,109 @@ class TestHostileFilters:
         result = run_computation(path_graph(4), Emit(), config)
         assert result.outputs == []
         assert result.num_outputs == 4
+
+
+class TestCheckpointFailureModes:
+    """Damaged or mismatched snapshots must refuse to resume, loudly.
+
+    The snapshot trailer is a sha256 over everything before it, so
+    arbitrary damage (bit flips, truncation) surfaces as a checksum
+    failure; magic/version diagnostics require re-signing the blob, which
+    is exactly what a hand-crafted hostile file would do.
+    """
+
+    def _crashed_run_dir(self, tmp_path):
+        from repro.apps import CliqueFinding
+        from repro.checkpoint import run_to_crash
+
+        run_to_crash(
+            complete_graph(6),
+            CliqueFinding(max_size=4, min_size=2),
+            ArabesqueConfig(),
+            str(tmp_path),
+            1,
+        )
+        from repro.checkpoint import latest_snapshot_path
+
+        return latest_snapshot_path(str(tmp_path))
+
+    def _resign(self, path, blob):
+        import hashlib
+
+        with open(path, "wb") as handle:
+            handle.write(blob + hashlib.sha256(blob).digest())
+
+    def test_bit_flip_fails_the_checksum(self, tmp_path):
+        from repro.checkpoint import CheckpointError, read_snapshot
+
+        path = self._crashed_run_dir(tmp_path)
+        data = bytearray(open(path, "rb").read())
+        data[len(data) // 2] ^= 0xFF
+        open(path, "wb").write(bytes(data))
+        with pytest.raises(CheckpointError, match="failed its checksum"):
+            read_snapshot(path)
+
+    def test_truncated_mid_write_is_detected(self, tmp_path):
+        from repro.checkpoint import CheckpointError, read_snapshot
+
+        path = self._crashed_run_dir(tmp_path)
+        data = open(path, "rb").read()
+        open(path, "wb").write(data[: len(data) // 2])
+        with pytest.raises(CheckpointError, match="checksum|truncated"):
+            read_snapshot(path)
+
+    def test_nearly_empty_file_is_reported_as_truncated(self, tmp_path):
+        from repro.checkpoint import CheckpointError, read_snapshot
+
+        path = self._crashed_run_dir(tmp_path)
+        open(path, "wb").write(b"ARBK")
+        with pytest.raises(CheckpointError, match="is truncated"):
+            read_snapshot(path)
+
+    def test_foreign_file_with_valid_checksum_fails_magic(self, tmp_path):
+        from repro.checkpoint import CheckpointError, read_snapshot
+
+        path = self._crashed_run_dir(tmp_path)
+        self._resign(path, b"NOTARBSQ" + b"\x00" * 64)
+        with pytest.raises(CheckpointError, match="bad magic"):
+            read_snapshot(path)
+
+    def test_future_format_version_is_rejected(self, tmp_path):
+        import struct
+
+        from repro.checkpoint import CheckpointError, read_snapshot
+        from repro.checkpoint.snapshot import MAGIC, _CHECKSUM_NBYTES
+
+        path = self._crashed_run_dir(tmp_path)
+        data = open(path, "rb").read()
+        blob = data[:-_CHECKSUM_NBYTES]
+        payload = blob[len(MAGIC) + 4 :]
+        self._resign(path, MAGIC + struct.pack(">I", 99) + payload)
+        with pytest.raises(CheckpointError, match="format version 99"):
+            read_snapshot(path)
+
+    def test_empty_run_dir_has_nothing_to_resume(self, tmp_path):
+        from repro.checkpoint import CheckpointError, resume_run
+
+        with pytest.raises(
+            CheckpointError, match="no checkpoint snapshots found"
+        ):
+            resume_run(str(tmp_path), complete_graph(6))
+
+    def test_resuming_against_the_wrong_graph_is_refused(self, tmp_path):
+        from repro.checkpoint import CheckpointGraphMismatch, resume_run
+
+        self._crashed_run_dir(tmp_path)
+        with pytest.raises(CheckpointGraphMismatch, match="graph"):
+            resume_run(str(tmp_path), complete_graph(7))
+
+    def test_resuming_with_semantic_config_changes_is_refused(self, tmp_path):
+        from repro.checkpoint import CheckpointConfigMismatch, resume_run
+
+        self._crashed_run_dir(tmp_path)
+        with pytest.raises(CheckpointConfigMismatch, match="storage"):
+            resume_run(
+                str(tmp_path),
+                complete_graph(6),
+                config=ArabesqueConfig(storage="list"),
+            )

@@ -58,6 +58,37 @@ class TestMeasurePartition:
         if report.total >= 8:
             assert report.imbalance() < 2.5
 
+    def test_detects_dropped_embeddings(self):
+        class LossyStore(OdagStore):
+            def extract_partition(self, worker, num_workers, prefix_filter=None):
+                rows = list(
+                    super().extract_partition(worker, num_workers, prefix_filter)
+                )
+                return rows[1:] if num_workers > 1 and worker == 0 else rows
+
+        store = random_store(4)
+        # baseline: the honest store passes
+        measure_partition(store, 3)
+        lossy = LossyStore()
+        lossy.merge(store)
+        with pytest.raises(ValueError, match="partition invariant violated"):
+            measure_partition(lossy, 3)
+
+    def test_detects_duplicated_embeddings(self):
+        class DupStore(OdagStore):
+            def extract_partition(self, worker, num_workers, prefix_filter=None):
+                rows = list(
+                    super().extract_partition(worker, num_workers, prefix_filter)
+                )
+                if num_workers > 1 and worker == 1 and rows:
+                    return rows + rows[:1]
+                return rows
+
+        dup = DupStore()
+        dup.merge(random_store(5))
+        with pytest.raises(ValueError, match="partition invariant violated"):
+            measure_partition(dup, 3)
+
 
 class TestBlockRoundRobin:
     def test_assignment_pattern(self):

@@ -36,6 +36,7 @@ from repro.service import (
     run_query,
     start_in_background,
 )
+from repro.service.registry import payload_nbytes
 from repro.session import Miner
 
 
@@ -134,18 +135,49 @@ class TestResultCache:
         _, hit = registry.cached("g", "q", "c", lambda m: 2)
         assert not hit  # the stale entry is gone
 
-    def test_lru_cap_evicts_oldest_results(self):
-        registry = MinerRegistry(max_cached_results=2)
+    def test_lru_byte_cap_evicts_oldest_results(self):
+        probe = {"rows": "x" * 1000}
+        # Room for exactly two payloads of this shape.
+        limit = 2 * payload_nbytes(probe) + 16
+        registry = MinerRegistry(result_cache_limit_nbytes=limit)
         registry.load("g", small_graph())
-        registry.cached("g", "q1", "c", lambda m: 1)
-        registry.cached("g", "q2", "c", lambda m: 2)
+        registry.cached("g", "q1", "c", lambda m: {"rows": "x" * 1000})
+        registry.cached("g", "q2", "c", lambda m: {"rows": "y" * 1000})
         registry.cached("g", "q1", "c", lambda m: None)  # touch q1
-        registry.cached("g", "q3", "c", lambda m: 3)  # pushes out q2
+        registry.cached("g", "q3", "c", lambda m: {"rows": "z" * 1000})
         _, hit = registry.cached("g", "q1", "c", lambda m: None)
-        assert hit
-        _, hit = registry.cached("g", "q2", "c", lambda m: 9)
-        assert not hit
+        assert hit  # recently touched, survived
+        _, hit = registry.cached("g", "q2", "c", lambda m: {"rows": "y" * 1000})
+        assert not hit  # LRU entry was pushed out by bytes
         assert registry.cache_info().result_evictions >= 1
+        assert 0 < registry.result_cache_nbytes() <= limit
+
+    def test_oversize_payload_is_never_cached(self):
+        registry = MinerRegistry(result_cache_limit_nbytes=256)
+        registry.load("g", small_graph())
+        _, hit = registry.cached("g", "big", "c", lambda m: {"rows": "x" * 4096})
+        assert not hit
+        _, hit = registry.cached("g", "big", "c", lambda m: {"rows": "x" * 4096})
+        assert not hit  # still a miss: the payload exceeds the whole budget
+        info = registry.cache_info()
+        assert info.result_oversize == 2
+        assert registry.result_cache_nbytes() == 0
+
+    def test_zero_limit_disables_result_caching(self):
+        registry = MinerRegistry(result_cache_limit_nbytes=0)
+        registry.load("g", small_graph())
+        registry.cached("g", "q", "c", lambda m: 1)
+        _, hit = registry.cached("g", "q", "c", lambda m: 1)
+        assert not hit
+
+    def test_describe_reports_result_cache_bytes(self):
+        registry = MinerRegistry()
+        registry.load("g", small_graph())
+        registry.cached("g", "q", "c", lambda m: {"rows": list(range(100))})
+        block = registry.describe()["result_cache"]
+        assert block["entries"] == 1
+        assert block["nbytes"] == registry.result_cache_nbytes() > 0
+        assert block["limit_nbytes"] == registry.result_cache_limit_nbytes
 
 
 # ---------------------------------------------------------------------------
@@ -414,6 +446,65 @@ class TestQueriesEndToEnd:
             server, "POST", "/match", {"graph": "tiny", "query": "wedge"}
         )
         assert matches == json.loads(unary_raw)["result"]["matches"]
+
+
+class TestDisconnectCancel:
+    def test_preset_cancel_flag_aborts_the_run(self):
+        import asyncio
+
+        from repro.core import CancelFlag, RunCancelled
+
+        registry = MinerRegistry()
+        registry.load("tiny", small_graph())
+        service = QueryService(registry)
+        try:
+            flag = CancelFlag()
+            flag.set()
+            with pytest.raises(RunCancelled):
+                asyncio.run(
+                    service.execute(
+                        "motifs", {"graph": "tiny", "max_size": 3}, cancel=flag
+                    )
+                )
+        finally:
+            service.close()
+
+    def test_client_disconnect_cancels_the_run(self):
+        import socket
+        import time
+
+        registry = MinerRegistry()
+        registry.load_dataset("citeseer", scale=0.1)
+        service = QueryService(registry, max_concurrent=1, max_pending=0)
+        handle = start_in_background(service)
+        try:
+            body = json.dumps(
+                {"graph": "citeseer", "max_size": 4, "labeled": False}
+            ).encode()
+            sock = socket.create_connection(handle.address)
+            sock.sendall(
+                (
+                    "POST /motifs HTTP/1.1\r\nHost: x\r\n"
+                    f"Content-Length: {len(body)}\r\n\r\n"
+                ).encode()
+                + body
+            )
+            time.sleep(0.3)  # let the run get going
+            sock.close()  # the client walks away mid-query
+            deadline = time.time() + 120
+            while time.time() < deadline:
+                if service.stats.cancelled_disconnects >= 1:
+                    break
+                time.sleep(0.05)
+            assert service.stats.cancelled_disconnects >= 1
+            # The freed slot serves new clients immediately.
+            status, _ = call(
+                handle, "POST", "/motifs",
+                {"graph": "citeseer", "max_size": 3}, timeout=120,
+            )
+            assert status == 200
+        finally:
+            handle.stop()
 
 
 class TestAdmission:

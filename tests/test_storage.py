@@ -1,8 +1,14 @@
-"""Tests for the inter-step stores (OdagStore / ListStore)."""
+"""Tests for the inter-step stores (OdagStore / ListStore / SpillListStore).
+
+The deeper SpillListStore behaviours (budget enforcement, segment merge
+streaming, engine equality, snapshot portability) live in
+``tests/test_checkpoint.py``; here we pin the shared ``EmbeddingStore``
+surface and the factory.
+"""
 
 import pytest
 
-from repro.core import ListStore, OdagStore, Pattern
+from repro.core import ListStore, OdagStore, Pattern, SpillListStore
 from repro.core.storage import make_store
 
 P_EDGE = Pattern((1, 2), ((0, 1, 0),))
@@ -120,9 +126,42 @@ class TestListStore:
         assert ListStore().num_embeddings == 0
 
 
+class TestSpillStoreSurface:
+    def test_matches_list_store_on_the_shared_interface(self, tmp_path):
+        spill = SpillListStore(directory=str(tmp_path), budget_nbytes=64)
+        reference = ListStore()
+        rows = [(P_PATH, (3, 1, 2)), (P_EDGE, (0, 1)), (P_EDGE, (2, 3))]
+        for pattern, words in rows:
+            spill.add(pattern, words)
+            reference.add(pattern, words)
+        reference.sort()
+        assert spill.num_embeddings == reference.num_embeddings
+        assert spill.wire_size() == reference.wire_size()
+        assert spill.patterns() == reference.patterns()
+        assert list(spill.extract_partition(0, 1)) == list(
+            reference.extract_partition(0, 1)
+        )
+
+    def test_empty(self, tmp_path):
+        store = SpillListStore(directory=str(tmp_path), budget_nbytes=64)
+        assert store.is_empty()
+        assert store.num_embeddings == 0
+
+
 class TestFactory:
     def test_make_store(self):
         assert isinstance(make_store("odag"), OdagStore)
         assert isinstance(make_store("list"), ListStore)
         with pytest.raises(ValueError):
             make_store("bogus")
+
+    def test_make_spill_store(self, tmp_path):
+        store = make_store(
+            "spill", spill_dir=str(tmp_path), spill_budget_nbytes=128
+        )
+        assert isinstance(store, SpillListStore)
+        for i in range(40):
+            store.add(P_PATH, (i, i + 1, i + 2))
+        assert store.spill_count > 0
+        assert store.peak_memory_nbytes <= 128 + 4 + 4 * 3
+        store.dispose()
