@@ -64,15 +64,17 @@ import os
 import sys
 import time
 
-from repro.apps import match_vertex_sets
+from repro.apps import enumerate_motif_patterns, match_vertex_sets
 from repro.core import STORAGE_MODES
 from repro.datasets import citeseer_like, mico_like
-from repro.graph import from_bitset, gnm_random_graph, strip_labels
+from repro.graph import assign_labels, from_bitset, gnm_random_graph, strip_labels
 from repro.plan import (
     NAMED_SHAPES,
+    build_plan_dag,
     compile_plan,
     guided_survivors,
 )
+from repro.plan.dag import DagStepper, mask_bundle
 from repro.plan.planner import restrict_plan
 from repro.session import Miner
 
@@ -95,6 +97,11 @@ TARGET_DAG_CANDIDATE_RATIO = 1.5
 #: states >= 1.5x faster than the legacy dict/set kernel on at least one
 #: full-scale workload.
 TARGET_GRAPHCORE_WALL_RATIO = 1.5
+
+#: Fused DAG stepper acceptance bar: pool-level mask algebra must replay
+#: the labeled motif-batch exploration tree >= 1.3x faster than the
+#: per-candidate probe loop it fused (``candidates()`` + ``check()``).
+TARGET_DAG_FUSED_WALL_RATIO = 1.3
 
 
 def _workloads():
@@ -149,6 +156,7 @@ def run_planner_speedup():
     total_exhaustive = 0
     total_guided = 0
     miners = {}
+    workload_payloads = []
     for graph_name, graph, query_name, induced in _workloads():
         miner = _session_for(miners, graph)
         query = NAMED_SHAPES[query_name]
@@ -162,6 +170,17 @@ def run_planner_speedup():
         total_guided += guided.total_candidates
         ratio = exhaustive.total_candidates / max(1, guided.total_candidates)
         speedup = exhaustive_wall / max(1e-9, guided_wall)
+        workload_payloads.append(
+            {
+                "graph": graph_name,
+                "query": query_name,
+                "induced": induced,
+                "matches": guided.num_outputs,
+                "candidates_exhaustive": exhaustive.total_candidates,
+                "candidates_guided": guided.total_candidates,
+                "candidate_ratio": round(ratio, 3),
+            }
+        )
         rows.append(
             f"{graph_name:<14} {query_name:<9} "
             f"{'ind' if induced else 'mono':<5} "
@@ -173,6 +192,18 @@ def run_planner_speedup():
             f"   |Aut|={plan.num_automorphisms}"
         )
     aggregate = total_exhaustive / max(1, total_guided)
+    report_json(
+        "BENCH_planner",
+        {
+            "bench": "planner_speedup",
+            "quick": QUICK,
+            "target_candidate_ratio": TARGET_CANDIDATE_RATIO,
+            "aggregate_candidate_ratio": round(aggregate, 3),
+            "total_candidates_exhaustive": total_exhaustive,
+            "total_candidates_guided": total_guided,
+            "workloads": workload_payloads,
+        },
+    )
     lines = [
         f"{'graph':<14} {'query':<9} {'sem':<5} {'matches':>8} "
         f"{'cand(ex)':>10} {'cand(gd)':>10} {'c-ratio':>8} "
@@ -187,6 +218,7 @@ def run_planner_speedup():
         "reference (quick mode)" if QUICK else
         "candidate counts are machine-independent; wall-clock gains are "
         "core-count-limited",
+        "machine-readable copy: results/BENCH_planner.json",
     ]
     report(
         "planner_speedup",
@@ -677,6 +709,83 @@ def _best_of(repeats, fn):
     return best
 
 
+def _collect_dag_states(dag, graph):
+    """Every surviving partial match of the DAG exploration tree."""
+    stepper = DagStepper(dag, graph)
+    states = []
+    stack = [()]
+    while stack:
+        words = stack.pop()
+        states.append(words)
+        _, survivors = stepper.step(words)
+        for word in survivors:
+            extended = words + (word,)
+            if stepper.extendable(extended):
+                stack.append(extended)
+    return states
+
+
+def _replay_dag_fused(dag, graph, states):
+    """The fused kernel: pool-level mask algebra + hybrid row fallback."""
+    stepper = DagStepper(dag, graph)
+    for words in states:
+        stepper.step(words)
+
+
+def _replay_dag_unfused(dag, graph, states):
+    """The per-candidate kernel the fusion replaced: one memoized pool,
+    then one full ``check`` probe per pool element — exactly what the
+    runtime's task loop ran before ``DagStepper.step`` existed."""
+    stepper = DagStepper(dag, graph)
+    for words in states:
+        for word in stepper.candidates(words):
+            stepper.check(graph, words, word)
+
+
+def _verify_dag_kernels_agree(dag, graph, states):
+    """Fused ``step`` vs per-candidate ``candidates``+``check`` oracle.
+
+    Pool sizes and survivor streams must agree at every replayed state;
+    returns the stream totals for the report.
+    """
+    fused = DagStepper(dag, graph)
+    unfused = DagStepper(dag, graph)
+    candidates = 0
+    survivors = 0
+    for words in states:
+        num_candidates, fused_survivors = fused.step(words)
+        pool = unfused.candidates(words)
+        unfused_survivors = tuple(
+            word for word in pool if unfused.check(graph, words, word)
+        )
+        assert num_candidates == len(pool), (
+            f"DAG pool sizes diverge at {words}: "
+            f"fused={num_candidates} unfused={len(pool)}"
+        )
+        assert fused_survivors == unfused_survivors, (
+            f"DAG survivors diverge at {words}: "
+            f"fused={fused_survivors[:10]}... "
+            f"unfused={unfused_survivors[:10]}..."
+        )
+        candidates += num_candidates
+        survivors += len(fused_survivors)
+    return candidates, survivors
+
+
+def _dag_workloads():
+    """(graph name, labeled graph, motif max size) for the fused stepper.
+
+    The labeled motif batch is the fused kernel's home turf: dozens of
+    member plans share trie nodes, so the unfused kernel pays a
+    ``check`` probe per (pool element x member) while the fused kernel
+    answers each node with a handful of bitset ``&``s.
+    """
+    if QUICK:
+        tiny = assign_labels(gnm_random_graph(40, 100, seed=7), 3, seed=7)
+        return [("tiny-gnm", tiny, 3)]
+    return [("citeseer-0.3", citeseer_like(scale=0.3), 3)]
+
+
 def _graphcore_workloads():
     """(graph name, graph, query name, induced, min whitelist degree).
 
@@ -705,9 +814,15 @@ def _graphcore_workloads():
 def run_graphcore_speedup():
     """CSR/bitset kernel vs the legacy dict/set kernel on replayed states.
 
-    Returns the best per-workload wall ratio; hard-asserts stream
-    equivalence always, and the >= 1.5x bar outside quick mode.  Writes
-    ``results/BENCH_graphcore.json``.
+    Two sub-sections: single-plan guided states through the CSR core vs
+    the pre-refactor dict/set kernel, and the fused multi-query
+    ``DagStepper.step`` vs the per-candidate ``candidates()``+``check()``
+    loop it replaced, on the labeled motif batch.  Returns the best
+    single-plan wall ratio; hard-asserts stream equivalence always, and
+    outside quick mode the >= 1.5x single-plan bar, the >=
+    {TARGET_DAG_FUSED_WALL_RATIO}x fused-DAG bar, and >= 1.0x on the
+    sparse citeseer triangle (the degree-adaptive fallback's regression
+    case).  Writes ``results/BENCH_graphcore.json``.
     """
     repeats = 3
     rows = []
@@ -771,6 +886,45 @@ def run_graphcore_speedup():
             f"{fmt_count(legacy_bytes):>10} {fmt_count(csr_bytes):>10}"
         )
     aggregate = total_legacy / max(1e-9, total_csr)
+
+    # -- fused DAG stepper vs the per-candidate loop it replaced --------
+    dag_rows = []
+    dag_payloads = []
+    best_dag_ratio = 0.0
+    for graph_name, graph, max_size in _dag_workloads():
+        batch = enumerate_motif_patterns(graph, max_size, min_size=2)
+        dag = build_plan_dag(batch, induced=True)
+        mask_bundle(dag, graph)
+        states = _collect_dag_states(dag, graph)
+        candidates, survivors = _verify_dag_kernels_agree(dag, graph, states)
+        wall_fused = _best_of(
+            repeats, lambda: _replay_dag_fused(dag, graph, states)
+        )
+        wall_unfused = _best_of(
+            repeats, lambda: _replay_dag_unfused(dag, graph, states)
+        )
+        dag_ratio = wall_unfused / max(1e-9, wall_fused)
+        best_dag_ratio = max(best_dag_ratio, dag_ratio)
+        dag_payloads.append(
+            {
+                "graph": graph_name,
+                "workload": f"motifs<={max_size}",
+                "members": len(batch),
+                "states": len(states),
+                "candidates": candidates,
+                "survivors": survivors,
+                "wall_unfused_s": round(wall_unfused, 6),
+                "wall_fused_s": round(wall_fused, 6),
+                "wall_ratio": round(dag_ratio, 3),
+            }
+        )
+        dag_rows.append(
+            f"{graph_name:<14} motifs<={max_size:<6} {len(batch):>7} "
+            f"{len(states):>8,} {fmt_count(candidates):>10} "
+            f"{fmt_count(survivors):>10} "
+            f"{wall_unfused:>8.3f}s {wall_fused:>8.3f}s {dag_ratio:>6.2f}x"
+        )
+
     payload = {
         "bench": "graphcore_speedup",
         "quick": QUICK,
@@ -778,7 +932,10 @@ def run_graphcore_speedup():
         "target_wall_ratio": TARGET_GRAPHCORE_WALL_RATIO,
         "best_wall_ratio": round(best_ratio, 3),
         "aggregate_wall_ratio": round(aggregate, 3),
+        "target_dag_fused_wall_ratio": TARGET_DAG_FUSED_WALL_RATIO,
+        "best_dag_fused_wall_ratio": round(best_dag_ratio, 3),
         "workloads": workload_payloads,
+        "dag_workloads": dag_payloads,
     }
     report_json("BENCH_graphcore", payload)
     lines = [
@@ -796,6 +953,16 @@ def run_graphcore_speedup():
         "+domN workloads push a degree->=N whitelist onto every step: "
         "the legacy kernel filters pools by genexp + frozenset probe, "
         "the CSR core intersects bitsets with one '&'",
+        "",
+        "fused DAG stepper (pool-level mask algebra + degree-adaptive "
+        "row fallback) vs the per-candidate probe loop it replaced:",
+        f"{'graph':<14} {'workload':<14} {'members':>7} {'states':>8} "
+        f"{'cand':>10} {'surv':>10} {'wall(old)':>9} {'wall(new)':>9} "
+        f"{'ratio':>7}",
+        *dag_rows,
+        f"best fused-DAG wall ratio: {best_dag_ratio:.2f}x (target >= "
+        f"{TARGET_DAG_FUSED_WALL_RATIO:.1f}x"
+        f"{', waived in quick mode' if QUICK else ''})",
         "machine-readable copy: results/BENCH_graphcore.json",
     ]
     report(
@@ -808,6 +975,19 @@ def run_graphcore_speedup():
             f"best graph-core wall ratio {best_ratio:.2f}x misses the "
             f"{TARGET_GRAPHCORE_WALL_RATIO}x bar"
         )
+        assert best_dag_ratio >= TARGET_DAG_FUSED_WALL_RATIO, (
+            f"fused DAG wall ratio {best_dag_ratio:.2f}x misses the "
+            f"{TARGET_DAG_FUSED_WALL_RATIO}x bar"
+        )
+        for entry in workload_payloads:
+            if entry["graph"].startswith("citeseer") and (
+                entry["query"] == "triangle"
+            ):
+                assert entry["wall_ratio"] >= 1.0, (
+                    "sparse citeseer triangle fell below 1.0x "
+                    f"({entry['wall_ratio']}x): the degree-adaptive row "
+                    "fallback regressed"
+                )
     return best_ratio
 
 

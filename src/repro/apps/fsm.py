@@ -55,6 +55,7 @@ from ..plan.fsm_guide import (
     has_infrequent_subpattern,
     label_triples,
     one_edge_extensions_with_maps,
+    prewarm_level_dag,
     single_edge_domains,
 )
 from ..plan.guided import match_mapping
@@ -445,9 +446,14 @@ def run_guided_fsm(
                 # sibling prefixes, the per-leaf whitelists push each
                 # candidate's parent domains down, and the aggregation
                 # channel demuxes the merged MNI domains by leaf pattern.
-                dag = restrict_dag(
-                    provide(tuple(pattern for pattern, _ in evaluated)),
-                    dict(evaluated),
+                # The restricted DAG is new per level, so its fused-kernel
+                # mask bundle is warmed here, pre-backend.
+                dag = prewarm_level_dag(
+                    restrict_dag(
+                        provide(tuple(pattern for pattern, _ in evaluated)),
+                        dict(evaluated),
+                    ),
+                    graph,
                 )
                 run_config = dataclasses.replace(
                     base, plan=dag, collect_outputs=False, output_limit=None

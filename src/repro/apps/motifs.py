@@ -37,7 +37,7 @@ from ..core.pattern import Pattern
 from ..core.results import RunResult
 from ..core.storage import LIST_STORAGE
 from ..graph import LabeledGraph
-from ..plan.dag import PlanDAG, bound_stepper, build_plan_dag
+from ..plan.dag import PlanDAG, bound_stepper, build_plan_dag, mask_bundle
 from ..plan.fsm_guide import (
     label_triples,
     one_edge_extensions,
@@ -239,6 +239,10 @@ def run_guided_motifs(
         lambda patterns: build_plan_dag(patterns, induced=True)
     )
     dag = provide(batch)
+    # Warm the fused stepper's structural masks in the driver process so
+    # worker tasks (and forked process workers, via copy-on-write) read
+    # the memo instead of rebuilding per task.
+    mask_bundle(dag, graph)
     run_config = dataclasses.replace(
         base, plan=dag, collect_outputs=False, output_limit=None
     )

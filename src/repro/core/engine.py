@@ -175,19 +175,23 @@ class ArabesqueEngine:
         pools.  Computing it here — in the parent process, before any
         step task runs — both avoids repeating the union merge in every
         worker and warms the graph's label index so the process
-        backend's forks inherit it copy-on-write.
+        backend's forks inherit it copy-on-write.  DAG runs also
+        prewarm the structural mask bundle
+        (:func:`repro.plan.dag.mask_bundle`) at the same point, for the
+        same reason: every worker task's fused stepper reads the
+        prebuilt masks instead of rebuilding them per fork.
         """
         if self._plan_universe is None:
             # Imported lazily like the runtime (core.config <- plan).
-            from ..plan.dag import PlanDAG, dag_step_zero_pool
+            from ..plan.dag import PlanDAG, dag_step_zero_pool, mask_bundle
             from ..plan.guided import step_zero_pool
 
             plan = self.config.plan
-            pool = (
-                dag_step_zero_pool(plan, self.graph)
-                if isinstance(plan, PlanDAG)
-                else step_zero_pool(plan, self.graph)
-            )
+            if isinstance(plan, PlanDAG):
+                mask_bundle(plan, self.graph)
+                pool = dag_step_zero_pool(plan, self.graph)
+            else:
+                pool = step_zero_pool(plan, self.graph)
             self._plan_universe = tuple(pool)
         return self._plan_universe
 

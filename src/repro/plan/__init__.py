@@ -13,7 +13,9 @@ exploration for a whole pattern batch), and :mod:`repro.plan.fsm_guide`
 """
 
 from .dag import (
+    DagMaskBundle,
     DagNode,
+    DagStepper,
     PlanDAG,
     accepting_patterns,
     build_plan_dag,
@@ -21,6 +23,7 @@ from .dag import (
     dag_extension_check,
     dag_step_zero_pool,
     dag_survivors,
+    mask_bundle,
     restrict_dag,
 )
 from .fsm_guide import (
@@ -48,7 +51,9 @@ from .symmetry import (
 )
 
 __all__ = [
+    "DagMaskBundle",
     "DagNode",
+    "DagStepper",
     "MatchingPlan",
     "NAMED_SHAPES",
     "PlanDAG",
@@ -69,6 +74,7 @@ __all__ = [
     "guided_extension_check",
     "guided_survivors",
     "label_triples",
+    "mask_bundle",
     "match_mapping",
     "mni_support_from_domains",
     "one_edge_extensions",

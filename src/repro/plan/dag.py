@@ -41,13 +41,14 @@ a single plan is: ``ArabesqueConfig.plan``, the runtime's
 from __future__ import annotations
 
 import dataclasses
+import weakref
 from dataclasses import dataclass
 from typing import Sequence
 
 from ..core.pattern import Pattern
 from ..graph import LabeledGraph
-from ..graph.bitset import from_bitset
-from .guided import guided_extension_check
+from ..graph.bitset import from_bitset, to_bitset
+from .guided import guided_extension_check, prefers_row_iteration
 from .planner import MatchingPlan, PlanError, compile_plan, restrict_plan
 
 
@@ -311,11 +312,15 @@ def restrict_dag(
     ``allowed_by_pattern`` maps member patterns to the per-pattern-vertex
     whitelists :func:`repro.plan.planner.restrict_plan` takes (iterables
     of vertex ids or pre-packed bitset ints); members absent from the
-    dict run unrestricted.  The trie structure, matching
-    orders, and symmetry restrictions are reused unchanged (no
-    recompilation — the point of caching DAGs by pattern batch); node
-    pool whitelists are recomputed as the member unions.  Soundness is
-    the caller's contract, exactly as for ``restrict_plan``.
+    dict keep whatever whitelists they already carry.  Like
+    ``restrict_plan``, overlays **compose**: restricting an
+    already-restricted DAG intersects the new whitelists with the
+    existing ones (never a silent overwrite), and re-applying the same
+    overlay is idempotent.  The trie structure, matching orders, and
+    symmetry restrictions are reused unchanged (no recompilation — the
+    point of caching DAGs by pattern batch); node pool whitelists are
+    recomputed as the member unions.  Soundness is the caller's
+    contract, exactly as for ``restrict_plan``.
     """
     plans = tuple(
         restrict_plan(plan, allowed_by_pattern.get(plan.pattern, {}))
@@ -507,6 +512,118 @@ def dag_extension_check(
     return False
 
 
+class DagMaskBundle:
+    """Per-``(PlanDAG, graph)`` structural masks, one slot per trie node.
+
+    Everything in a node's fused step check that does **not** depend on
+    the embedding being extended is precomputed here, so the hot kernel
+    (:meth:`DagStepper.step`) assembles each per-node survivor chain from
+    ready-made big ints:
+
+    * ``label_masks[node_id]`` — the graph's label-index bitset for the
+      node's required vertex label (the chain's label clause);
+    * ``edge_label_ok[node_id]`` — the back-edge *label* verdict, settled
+      per node instead of per candidate: ``True`` when adjacency already
+      implies the labels (uniformly-labeled graph, labels match — or no
+      back-edges at all), ``False`` when a required label cannot exist on
+      a uniformly-labeled graph (the node's survivor set is always
+      empty), ``None`` on mixed-label graphs (confirm per decoded
+      survivor, exactly like the single-plan kernel);
+    * ``root_pools[node_id]`` — for back-edge-less roots only: the step-0
+      pool bitset (union whitelist when set, else the label index).
+
+    Bundles are plain derived data — rebuilding one from scratch always
+    reproduces it (the ``restrict_dag`` property tests pin this), so the
+    memo (:func:`mask_bundle`) is a pure cache: sessions and the engine
+    prewarm it per compiled DAG, worker tasks read it, and a fork-based
+    process backend inherits the prewarmed masks through copy-on-write
+    instead of rebuilding them per process.
+    """
+
+    __slots__ = ("dag", "graph", "label_masks", "edge_label_ok", "root_pools")
+
+    def __init__(self, dag: PlanDAG, graph: LabeledGraph) -> None:
+        self.dag = dag
+        self.graph = graph
+        uniform = graph.uniform_edge_label
+        label_masks = []
+        edge_label_ok: list[bool | None] = []
+        root_pools: list[int | None] = []
+        for node in dag.nodes:
+            label_masks.append(graph.label_bits(node.vertex_label))
+            if not node.back_edges:
+                verdict: bool | None = True
+            elif uniform is None:
+                verdict = None
+            else:
+                verdict = all(
+                    label == uniform for _, label in node.back_edges
+                )
+            edge_label_ok.append(verdict)
+            if node.back_edges:
+                root_pools.append(None)
+            else:
+                root_pools.append(
+                    node.allowed
+                    if node.allowed is not None
+                    else graph.label_bits(node.vertex_label)
+                )
+        self.label_masks = tuple(label_masks)
+        self.edge_label_ok = tuple(edge_label_ok)
+        self.root_pools = tuple(root_pools)
+
+
+#: One bundle per live DAG (weak — dropping the DAG drops its masks).
+#: Keyed by the DAG; the bundle pins which graph it was built for, so a
+#: different graph (never the case inside one run) rebuilds.
+#: Identity-keyed weak memo: ``id(dag) -> (weakref-to-dag, bundle)``.
+#: Keyed by object identity, NOT value equality — PlanDAG is a frozen
+#: dataclass, so a ``WeakKeyDictionary`` would fold value-equal DAGs
+#: (the same batch compiled twice) into one slot, and the weakref
+#: callback of whichever copy dies first would evict the survivor's
+#: warm entry.  The weakref finalizer removes the entry when its own
+#: DAG is collected, never a look-alike's.
+_MASK_BUNDLES: dict[int, tuple["weakref.ref[PlanDAG]", DagMaskBundle]] = {}
+
+
+def mask_bundle(dag: PlanDAG, graph: LabeledGraph) -> DagMaskBundle:
+    """The memoized :class:`DagMaskBundle` for ``(dag, graph)``.
+
+    Cheap to call anywhere a DAG meets its graph: the session facade and
+    the engine prewarm it once per run (before the process backend
+    forks), and every :class:`DagStepper` resolves through it — so the
+    masks are computed once per compiled DAG per process, not once per
+    worker task.
+    """
+    key = id(dag)
+    entry = _MASK_BUNDLES.get(key)
+    if entry is not None:
+        ref, bundle = entry
+        if ref() is dag and bundle.graph is graph:
+            return bundle
+    bundle = DagMaskBundle(dag, graph)
+    # Bind the memo as a default so the finalizer survives interpreter
+    # shutdown (module globals are cleared before late GC runs).
+    _MASK_BUNDLES[key] = (
+        weakref.ref(
+            dag,
+            lambda _ref, _key=key, _memo=_MASK_BUNDLES: _memo.pop(_key, None),
+        ),
+        bundle,
+    )
+    return bundle
+
+
+def has_mask_bundle(dag: PlanDAG, graph: LabeledGraph) -> bool:
+    """Whether the memo already holds ``(dag, graph)``'s bundle (session
+    cache accounting; never builds)."""
+    entry = _MASK_BUNDLES.get(id(dag))
+    if entry is None:
+        return False
+    ref, bundle = entry
+    return ref() is dag and bundle.graph is graph
+
+
 def bound_stepper(computation, dag: PlanDAG, graph: LabeledGraph) -> "DagStepper":
     """Lazily attach a per-task :class:`DagStepper` to a computation copy.
 
@@ -598,6 +715,21 @@ class DagStepper:
     against one embedding then costs one cached lookup plus per-node
     structural checks — close to the single-plan work profile.
 
+    :meth:`step` is the fused whole-pool kernel the runtime's expansion
+    pass actually calls: per live trie node it collapses the structural
+    half of the check — anchor adjacency ∧ union whitelist ∧ label ∧
+    shared back-edges — into one big-int ``&`` chain over the node's
+    precomputed :class:`DagMaskBundle` masks, decodes the node's
+    survivor set once, and applies only the per-member residual
+    (whitelist, induced non-edges, symmetry restrictions) to the decoded
+    words.  A degree-adaptive hybrid
+    (:func:`repro.plan.guided.prefers_row_iteration` on the summed
+    anchor degrees) falls back to row iteration with per-candidate
+    checks when the pool is tiny; both paths return identical
+    ``(num_candidates, survivors)`` streams and warm the survivor cache
+    for every accepted child, so the computation hooks' ``accepting``/
+    ``extendable`` lookups hit.
+
     One stepper is created per worker step task (and lazily per task
     copy of the DAG computations), never shared between threads or
     processes, so the cache is private mutable state of a pure task:
@@ -606,7 +738,7 @@ class DagStepper:
     memory proportional to the working set, not the store.
     """
 
-    __slots__ = ("dag", "graph", "_cache")
+    __slots__ = ("dag", "graph", "bundle", "_cache")
 
     #: Cache-entry bound; on overflow the cache resets to the root entry.
     CACHE_LIMIT = 8192
@@ -614,6 +746,7 @@ class DagStepper:
     def __init__(self, dag: PlanDAG, graph: LabeledGraph) -> None:
         self.dag = dag
         self.graph = graph
+        self.bundle = mask_bundle(dag, graph)
         self._cache: dict[tuple[int, ...], list[int]] = {
             (): list(range(len(dag.plans)))
         }
@@ -655,6 +788,173 @@ class DagStepper:
             cache[()] = list(range(len(self.dag.plans)))
         cache[words] = result
         return result
+
+    def _warm_child(self, child: tuple[int, ...], accepted: list[int]) -> None:
+        """Cache a freshly derived survivor entry (the fused paths know
+        every accepted child's member list as a byproduct)."""
+        cache = self._cache
+        if len(cache) > self.CACHE_LIMIT:
+            cache.clear()
+            cache[()] = list(range(len(self.dag.plans)))
+        cache[child] = accepted
+
+    def step(
+        self, words: tuple[int, ...], strategy: str | None = None
+    ) -> tuple[int, tuple[int, ...]]:
+        """Fused one-step kernel: ``(num_candidates, survivors)``.
+
+        Equivalent to filtering :meth:`candidates` through :meth:`check`
+        word by word — ``num_candidates`` is the deduplicated union
+        pool's size, ``survivors`` the ascending words at least one
+        surviving member accepts — but computed with pool-level bitset
+        algebra per live trie node (or row iteration when the summed
+        anchor degrees say the pool is tiny).  ``strategy`` pins a path
+        (``"rows"`` / ``"masks"``) for tests and benchmarks; ``None``
+        selects adaptively.  Accepted children's survivor lists are
+        cached as a byproduct, exactly as on-demand derivation would
+        compute them.
+        """
+        depth = len(words)
+        dag = self.dag
+        graph = self.graph
+        plans = dag.plans
+        paths = dag.paths
+        nodes = dag.nodes
+        by_node: dict[int, list[int]] = {}
+        for p in self.survivors(words):
+            if plans[p].num_steps > depth:
+                by_node.setdefault(paths[p][depth], []).append(p)
+        if not by_node:
+            return 0, ()
+        live_nodes = sorted(by_node)
+        # Resolve each node's anchor once; its degree doubles as the
+        # pool-size estimate the hybrid decision reads (a popcount the
+        # CSR offsets hand over for free).
+        anchors: dict[int, int] = {}
+        estimate = 0
+        for node_id in live_nodes:
+            node = nodes[node_id]
+            back = node.back_edges
+            if back:
+                # Unrolled min-by-(degree, id): no genexp/lambda frames
+                # on the hot path, and the winning degree IS the node's
+                # pool-size estimate.
+                anchor = words[back[0][0]]
+                degree = graph.degree(anchor)
+                for earlier, _ in back[1:]:
+                    vertex = words[earlier]
+                    vertex_degree = graph.degree(vertex)
+                    if vertex_degree < degree or (
+                        vertex_degree == degree and vertex < anchor
+                    ):
+                        anchor, degree = vertex, vertex_degree
+                anchors[node_id] = anchor
+                estimate += degree
+            else:
+                assert not words, "back-edge-less DAG node reached mid-plan"
+                pool = self.bundle.root_pools[node_id]
+                estimate += pool.bit_count()
+        if strategy == "rows" or (
+            strategy is None and prefers_row_iteration(estimate)
+        ):
+            return self._row_step(words, by_node, live_nodes)
+        return self._masked_step(words, by_node, live_nodes, anchors)
+
+    def _row_step(
+        self,
+        words: tuple[int, ...],
+        by_node: dict[int, list[int]],
+        live_nodes: list[int],
+    ) -> tuple[int, tuple[int, ...]]:
+        """The hybrid's sparse path: per-candidate probes over the merged
+        row pool, with the per-word node/member grouping hoisted out."""
+        depth = len(words)
+        dag = self.dag
+        graph = self.graph
+        plans = dag.plans
+        nodes = dag.nodes
+        pool = _pool_for_nodes(dag, graph, words, live_nodes)
+        survivors: list[int] = []
+        grouped = [(nodes[node_id], by_node[node_id]) for node_id in live_nodes]
+        for word in pool:
+            accepted: list[int] = []
+            for node, members in grouped:
+                if not _node_structural_ok(node, graph, words, word):
+                    continue
+                for p in members:
+                    if _member_residual_ok(plans[p], depth, graph, words, word):
+                        accepted.append(p)
+            if accepted:
+                accepted.sort()
+                self._warm_child(words + (word,), accepted)
+                survivors.append(word)
+        return len(pool), tuple(survivors)
+
+    def _masked_step(
+        self,
+        words: tuple[int, ...],
+        by_node: dict[int, list[int]],
+        live_nodes: list[int],
+        anchors: dict[int, int],
+    ) -> tuple[int, tuple[int, ...]]:
+        """The dense path: one structural ``&`` chain per live node over
+        the bundle's masks, decoded once per node; per-member residuals
+        run on the decoded survivors only."""
+        depth = len(words)
+        dag = self.dag
+        graph = self.graph
+        plans = dag.plans
+        nodes = dag.nodes
+        bundle = self.bundle
+        exclude = ~to_bitset(words)
+        merged_pool = 0
+        word_members: dict[int, list[int]] = {}
+        for node_id in live_nodes:
+            node = nodes[node_id]
+            if not node.back_edges:
+                pool_bits = bundle.root_pools[node_id]
+                struct = pool_bits & bundle.label_masks[node_id]
+            else:
+                pool_bits = graph.neighbor_bits(anchors[node_id])
+                if node.allowed is not None:
+                    pool_bits &= node.allowed
+                verdict = bundle.edge_label_ok[node_id]
+                if verdict is False:
+                    struct = 0
+                else:
+                    struct = pool_bits & bundle.label_masks[node_id]
+                    for earlier, _ in node.back_edges:
+                        if not struct:
+                            break
+                        struct &= graph.neighbor_bits(words[earlier])
+                    if struct:
+                        struct &= exclude
+            merged_pool |= pool_bits
+            if not struct:
+                continue
+            decoded: Sequence[int] = from_bitset(struct)
+            if node.back_edges and bundle.edge_label_ok[node_id] is None:
+                # Mixed edge labels: adjacency alone does not imply the
+                # required labels; confirm on the decoded survivors only.
+                decoded = [
+                    word
+                    for word in decoded
+                    if all(
+                        graph.edge_label(graph.edge_between(word, words[earlier]))
+                        == edge_label
+                        for earlier, edge_label in node.back_edges
+                    )
+                ]
+            members = by_node[node_id]
+            for word in decoded:
+                for p in members:
+                    if _member_residual_ok(plans[p], depth, graph, words, word):
+                        word_members.setdefault(word, []).append(p)
+        for word in word_members:
+            accepted = word_members[word]
+            accepted.sort()
+            self._warm_child(words + (word,), accepted)
+        return merged_pool.bit_count(), tuple(sorted(word_members))
 
     def candidates(self, words: tuple[int, ...]) -> Sequence[int]:
         """Memoized-walk :func:`dag_candidates` (the generate hook)."""

@@ -40,6 +40,33 @@ from ..graph import LabeledGraph
 from ..graph.bitset import from_bitset, to_bitset
 from .planner import MatchingPlan
 
+#: Candidate-pool size below which the fused bitset kernels fall back to
+#: iterating the anchor's CSR row with per-candidate checks.  Big-int
+#: mask algebra has a fixed per-``&`` cost proportional to the *vertex
+#: universe* width (every mask spans ``num_vertices`` bits), so on a
+#: tiny pool — a low-degree anchor on a sparse graph — a handful of
+#: direct probes beats building the whole chain.  The estimate is the
+#: anchor's degree (== the popcount of its adjacency bitset, read off
+#: the CSR offsets for free), so choosing a path costs one comparison.
+#: 16 sits comfortably inside the measured crossover band (row wins up
+#: to a few dozen candidates on the bundled sparse graphs; masks win
+#: from roughly pool ~ universe/100 upward).
+SMALL_POOL_DEGREE = 16
+
+
+def prefers_row_iteration(pool_estimate: int) -> bool:
+    """The hybrid kernels' path decision, pinned for tests and docs.
+
+    ``True`` selects the row-iteration path (decode/iterate the anchor's
+    CSR row, check candidates one by one), ``False`` the pool-level mask
+    path.  ``pool_estimate`` is a cheap popcount-equivalent upper bound
+    on the candidate pool: the anchor's degree for a single plan, the
+    sum of per-node anchor degrees for a DAG step.  Both paths produce
+    identical ``(num_candidates, survivors)`` streams — the choice is
+    wall-clock only (regression-pinned by the kernel-equivalence tests).
+    """
+    return pool_estimate <= SMALL_POOL_DEGREE
+
 
 def guided_candidates(
     plan: MatchingPlan, graph: LabeledGraph, words: tuple[int, ...]
@@ -139,7 +166,10 @@ def guided_extension_check(
 
 
 def guided_survivors(
-    plan: MatchingPlan, graph: LabeledGraph, words: tuple[int, ...]
+    plan: MatchingPlan,
+    graph: LabeledGraph,
+    words: tuple[int, ...],
+    strategy: str | None = None,
 ) -> tuple[int, tuple[int, ...]]:
     """Candidate pool size + surviving extensions, fused into bitset algebra.
 
@@ -153,6 +183,14 @@ def guided_survivors(
     candidates, and only on graphs with mixed edge labels
     (:attr:`~repro.graph.LabeledGraph.uniform_edge_label` short-circuits
     the uniform case to pure bit math).
+
+    The kernel is **degree-adaptive**: every mask in the chain spans the
+    whole vertex universe, so when the anchor's degree says the pool is
+    tiny (:func:`prefers_row_iteration`) the kernel iterates the anchor's
+    CSR row and checks the few candidates directly instead — same
+    ``(num_candidates, survivors)``, chosen by one comparison.
+    ``strategy`` pins a path explicitly (``"rows"`` / ``"masks"``) for
+    tests and benchmarks; ``None`` selects adaptively.
 
     Returns ``(num_candidates, survivors)``: the size of the pool
     :func:`guided_candidates` would have produced (the engine's
@@ -173,10 +211,23 @@ def guided_survivors(
         return step.allowed.bit_count(), from_bitset(
             step.allowed & graph.label_bits(step.vertex_label)
         )
-    anchor = min(
-        (words[earlier] for earlier, _ in step.back_edges),
-        key=lambda vertex: (graph.degree(vertex), vertex),
-    )
+    # Anchor = lowest-(degree, id) matched back-neighbor, unrolled: a
+    # one-back-edge step (most steps on sparse plans) resolves without
+    # a genexp/min frame, and the degree doubles as the pool estimate.
+    back = step.back_edges
+    anchor = words[back[0][0]]
+    estimate = graph.degree(anchor)
+    for earlier, _ in back[1:]:
+        vertex = words[earlier]
+        vertex_degree = graph.degree(vertex)
+        if vertex_degree < estimate or (
+            vertex_degree == estimate and vertex < anchor
+        ):
+            anchor, estimate = vertex, vertex_degree
+    if strategy == "rows" or (
+        strategy is None and estimate <= SMALL_POOL_DEGREE
+    ):
+        return _row_survivors(plan, step, graph, words, anchor)
     bits = graph.neighbor_bits(anchor)
     if step.allowed is not None:
         bits &= step.allowed
@@ -215,6 +266,108 @@ def guided_survivors(
         )
     )
     return num_candidates, survivors
+
+
+def _row_survivors(
+    plan: MatchingPlan,
+    step,
+    graph: LabeledGraph,
+    words: tuple[int, ...],
+    anchor: int,
+) -> tuple[int, tuple[int, ...]]:
+    """The hybrid's sparse path: iterate the anchor row, probe per word.
+
+    Semantically identical to the mask chain — the per-step constraint
+    battery of :func:`guided_extension_check` with its loop invariants
+    hoisted (matched back-neighbors resolved, order restrictions turned
+    into two id bounds) — but the cost scales with the anchor's *degree*
+    instead of the vertex-universe width.  The pool (and with it
+    ``num_candidates``) is exactly the mask path's: the anchor's CSR row,
+    filtered by the step whitelist when one is set.
+    """
+    allowed = step.allowed
+    if allowed is None:
+        pool = graph.neighbors(anchor)
+    else:
+        pool = [
+            word for word in graph.neighbors(anchor) if (allowed >> word) & 1
+        ]
+    num_candidates = len(pool)
+    if not num_candidates:
+        return 0, ()
+    uniform = graph.uniform_edge_label
+    # Pool membership already proves adjacency to the anchor, so the
+    # anchor's own back-edge needs no probe (only — on mixed-label
+    # graphs — an edge-label confirm); the remaining back-neighbors
+    # need one bit probe each.  Plain loops, no genexp frames: this
+    # setup runs once per embedding against pools of a handful of
+    # words, so per-call constant cost is the whole game.
+    adjacency = []
+    edge_labels = [] if uniform is None else None
+    for earlier, edge_label in step.back_edges:
+        if uniform is not None:
+            if edge_label != uniform:
+                # Required edge label absent from a uniformly-labeled
+                # graph: the mask path zeroes the survivor set too.
+                return num_candidates, ()
+        else:
+            edge_labels.append((words[earlier], edge_label))
+        matched = words[earlier]
+        if matched != anchor:
+            adjacency.append(matched)
+    # A single-label graph decides the label constraint wholesale: the
+    # pool either all carries the wanted label or none of it does.
+    want_label = step.vertex_label
+    if graph.num_vertex_labels == 1:
+        if not graph.label_bits(want_label):
+            return num_candidates, ()
+        want_label = None
+    non_edges = step.back_non_edges if plan.induced else ()
+    # Order restrictions become two bounds on the candidate id, exactly
+    # the magnitude masks of the bitset path.
+    lower = -1
+    for earlier in step.must_exceed:
+        matched = words[earlier]
+        if matched > lower:
+            lower = matched
+    upper = graph.num_vertices
+    for earlier in step.must_precede:
+        matched = words[earlier]
+        if matched < upper:
+            upper = matched
+    neighbor_bits = graph.neighbor_bits
+    probe = bool(adjacency or non_edges)
+    survivors = []
+    for word in pool:
+        if not lower < word < upper:
+            continue
+        if want_label is not None and graph.vertex_label(word) != want_label:
+            continue
+        if word in words:
+            continue
+        ok = True
+        if probe:
+            word_bits = neighbor_bits(word)
+            for matched in adjacency:
+                if not (word_bits >> matched) & 1:
+                    ok = False
+                    break
+            if ok:
+                for earlier in non_edges:
+                    if (word_bits >> words[earlier]) & 1:
+                        ok = False
+                        break
+        if ok and edge_labels:
+            for matched, edge_label in edge_labels:
+                if (
+                    graph.edge_label(graph.edge_between(word, matched))
+                    != edge_label
+                ):
+                    ok = False
+                    break
+        if ok:
+            survivors.append(word)
+    return num_candidates, tuple(survivors)
 
 
 def plan_checker(

@@ -267,21 +267,31 @@ def restrict_plan(
     ``allowed_by_vertex`` maps pattern vertices to the graph vertices
     they may be assigned — as any iterable of vertex ids (guided FSM
     passes frozenset domains) or an already-packed bitset ``int``;
-    vertices absent from the dict stay unrestricted.  Whitelists are
-    stored on the steps in bitset form (:mod:`repro.graph.bitset`).  The
-    compiled order, constraints, and symmetry restrictions are reused
-    unchanged, so restricting a cached plan costs no recompilation;
-    soundness is the caller's contract — the whitelists must cover every
-    image the unrestricted plan could produce (guided FSM derives them
+    vertices absent from the dict keep whatever whitelist the step
+    already carries.  Whitelists are stored on the steps in bitset form
+    (:mod:`repro.graph.bitset`).  Restrictions **compose**: applying a
+    second overlay intersects with the first (a vertex must satisfy
+    every whitelist ever pushed onto it), so ``restrict_plan`` applied
+    twice is the conjunction, never a silent overwrite — and applying
+    the same overlay twice is idempotent.  The compiled order,
+    constraints, and symmetry restrictions are reused unchanged, so
+    restricting a cached plan costs no recompilation; soundness is the
+    caller's contract — the whitelists must cover every image the
+    restricted plan could otherwise produce (guided FSM derives them
     from complete parent domains).
     """
-    steps = tuple(
-        dataclasses.replace(
-            step, allowed=_as_bitset(allowed_by_vertex.get(step.pattern_vertex))
-        )
-        for step in plan.steps
-    )
-    return dataclasses.replace(plan, steps=steps)
+    steps = []
+    for step in plan.steps:
+        if step.pattern_vertex not in allowed_by_vertex:
+            steps.append(step)
+            continue
+        incoming = _as_bitset(allowed_by_vertex[step.pattern_vertex])
+        if incoming is None or step.allowed is None:
+            combined = step.allowed if incoming is None else incoming
+        else:
+            combined = step.allowed & incoming
+        steps.append(dataclasses.replace(step, allowed=combined))
+    return dataclasses.replace(plan, steps=tuple(steps))
 
 
 def _as_bitset(allowed: Iterable[int] | int | None) -> int | None:

@@ -31,12 +31,15 @@ label/adjacency/symmetry acceptance test collapses into the same chain
 of big-int ``&`` ops, decoded to sorted id order once per embedding —
 the plan's ordering restrictions already guarantee each occurrence is
 generated exactly once, so no canonicality check is needed.  A multi-query
-:class:`~repro.plan.PlanDAG` generalizes the same two pieces from one
-step to a *set of active DAG nodes* per embedding: the pool is the
-deduplicated union of the surviving patterns' next anchor neighborhoods
-(:func:`repro.plan.dag.dag_candidates`), a candidate is kept when any
-surviving member plan accepts it, and the extended embedding is stored
-once no matter how many patterns it advances — emission happens once per
+:class:`~repro.plan.PlanDAG` generalizes the same fusion from one step to
+a *set of active DAG nodes* per embedding
+(:meth:`repro.plan.dag.DagStepper.step`): per live trie node the pool —
+the deduplicated union of the surviving patterns' next anchor
+neighborhoods — and the shared structural check collapse into one ``&``
+chain over the DAG's precomputed mask bundle (with a degree-adaptive
+row-iteration fallback for tiny pools), per-member residual checks run
+on the decoded survivors, and the extended embedding is stored once no
+matter how many patterns it advances — emission happens once per
 accepting leaf inside the computation.  Everything else (stores,
 aggregation, deltas, backends) is unchanged, which is what keeps guided
 runs byte-identical across backends and worker counts too.
@@ -374,12 +377,16 @@ def _expansion_pass(
     if isinstance(plan, PlanDAG):
         # One stepper per task, shared with the computation's own hooks
         # (process/termination run on the same task copy): its
-        # survivor-walk memo is private to this pure task, so checking a
-        # whole candidate pool costs one cached prefix walk plus
-        # per-candidate final-step checks.
+        # survivor-walk memo is private to this pure task.  Expansion
+        # runs the fused whole-pool kernel (DagStepper.step): per live
+        # trie node one bitset ``&`` chain over the DAG's precomputed
+        # mask bundle, with a degree-adaptive row-iteration fallback —
+        # counter-for-counter equal to generate-then-check.  The
+        # per-candidate check stays bound for the ODAG prefix filter.
         stepper = bound_stepper(computation, plan, graph)
         check_extension = stepper.check
-        generate = stepper.candidates
+        generate = None
+        fused = stepper.step
     else:
         check_extension = _make_extension_checker(
             mode, context.incremental_canonicality, plan
@@ -393,6 +400,9 @@ def _expansion_pass(
             # of ``&`` ops per embedding (plan_checker stays in use for
             # the ODAG prefix filter above).
             generate = None
+
+            def fused(words: tuple[int, ...]):
+                return guided_survivors(plan, graph, words)
     profile = context.profile_phases
     # List-format stores (plain or spilled) hold exact embeddings under
     # their true canonical pattern; only ODAG paths can be spurious.
@@ -451,20 +461,17 @@ def _expansion_pass(
         computation.aggregation_process(embedding)
 
         if generate is None:
-            # Fused guided kernel: candidate generation and the plan
-            # check happen inside one bitset intersection chain; the
-            # returned words are already the survivors, so the loop
-            # below skips the per-word check entirely.
+            # Fused guided kernel (single-plan or DAG): candidate
+            # generation and the acceptance check happen inside one
+            # bitset intersection chain; the returned words are already
+            # the survivors, so the loop below skips the per-word check
+            # entirely.
             if profile:
                 t0 = time.perf_counter()
-                num_candidates, candidate_words = guided_survivors(
-                    plan, graph, words
-                )
+                num_candidates, candidate_words = fused(words)
                 _add_phase(phase_seconds, "G", time.perf_counter() - t0)
             else:
-                num_candidates, candidate_words = guided_survivors(
-                    plan, graph, words
-                )
+                num_candidates, candidate_words = fused(words)
             stats.candidates_generated += num_candidates
             work += num_candidates
             stats.canonical_candidates += len(candidate_words)

@@ -56,7 +56,7 @@ from ..core.pattern import Pattern
 from ..core.results import RunResult
 from ..graph import LabeledGraph
 from ..graph.generators import strip_labels
-from ..plan.dag import PlanDAG, build_plan_dag
+from ..plan.dag import PlanDAG, build_plan_dag, has_mask_bundle
 from ..plan.planner import MatchingPlan, compile_plan
 
 from .query import (
@@ -90,6 +90,13 @@ class SessionCacheInfo:
     dag_compilations: int = 0
     #: DAG lookups served from the session cache.
     dag_hits: int = 0
+    #: Cached DAGs whose fused-kernel structural mask bundle
+    #: (:func:`repro.plan.dag.mask_bundle`) is currently warm for one of
+    #: the session's graph variants — i.e. a repeated query's worker
+    #: steppers will read precomputed masks instead of rebuilding them.
+    #: Computed at snapshot time (bundles are a process-wide weak memo,
+    #: not session state).
+    warm_mask_bundles: int = 0
     #: Label-stripped graph variants built (0 or 1).
     strip_builds: int = 0
 
@@ -214,7 +221,17 @@ class Miner:
     def cache_info(self) -> SessionCacheInfo:
         """A snapshot of the session's cache counters."""
         with self._lock:
-            return SessionCacheInfo(**vars(self._info))
+            info = SessionCacheInfo(**vars(self._info))
+            info.warm_mask_bundles = sum(
+                1
+                for dag in self._dags.values()
+                if has_mask_bundle(dag, self.graph)
+                or (
+                    self._unlabeled is not None
+                    and has_mask_bundle(dag, self._unlabeled)
+                )
+            )
+            return info
 
     def _graph_variant(self, labeled: bool) -> LabeledGraph:
         if labeled:

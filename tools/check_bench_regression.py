@@ -1,0 +1,172 @@
+#!/usr/bin/env python
+"""Bench-regression gate for the machine-readable benchmark artifacts.
+
+Compares freshly produced ``benchmarks/results/BENCH_*.json`` files
+against the committed quick-mode baselines in ``benchmarks/baselines/``
+(``<name>.quick.json``), and fails when a tracked number regresses:
+
+* **machine-independent counters** (states, candidate/survivor stream
+  totals, match counts, batch sizes) must be *exactly* equal — any
+  drift means kernel behavior changed, not the machine;
+* **relative wall ratios** (``wall_ratio``, ``best_wall_ratio``, ...)
+  may wobble with the host, but both sides of a ratio are measured on
+  the same machine in the same run, so a drop beyond the tolerance
+  (default 20%) is a real slowdown of the new kernel against the old
+  one and fails the gate.  Improvements never fail.
+
+Usage::
+
+    python tools/check_bench_regression.py \
+        [--baselines benchmarks/baselines] \
+        [--results benchmarks/results] \
+        [--tolerance 0.20]
+
+Every ``*.quick.json`` baseline must have a matching fresh result (the
+CI quick-mode smoke produces them); a missing result, a missing
+workload, a changed counter, or an out-of-tolerance ratio exits 1 with
+the offending numbers listed.  Exit status 0 means no regressions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Exactly-equal keys: machine-independent stream/batch counters.
+EXACT_KEYS = (
+    "states",
+    "members",
+    "matches",
+    "candidates",
+    "survivors",
+    "candidates_exhaustive",
+    "candidates_guided",
+    "total_candidates_exhaustive",
+    "total_candidates_guided",
+)
+
+#: Ratio keys: relative same-machine timings, tolerance-checked
+#: (lower than baseline by more than the tolerance = regression).
+RATIO_KEYS = (
+    "wall_ratio",
+    "candidate_ratio",
+    "best_wall_ratio",
+    "aggregate_wall_ratio",
+    "best_dag_fused_wall_ratio",
+    "aggregate_candidate_ratio",
+)
+
+#: Keys naming a workload entry inside a ``workloads``-style list.
+IDENTITY_KEYS = ("graph", "query", "workload")
+
+
+def _workload_id(entry: dict) -> tuple:
+    return tuple(entry.get(key) for key in IDENTITY_KEYS)
+
+
+def _compare_scalars(
+    path: str, baseline: dict, fresh: dict, tolerance: float
+) -> list[str]:
+    problems = []
+    for key in EXACT_KEYS:
+        if key in baseline:
+            if key not in fresh:
+                problems.append(f"{path}: counter {key!r} disappeared")
+            elif fresh[key] != baseline[key]:
+                problems.append(
+                    f"{path}: counter {key!r} drifted "
+                    f"{baseline[key]} -> {fresh[key]} (must be exact)"
+                )
+    for key in RATIO_KEYS:
+        if key in baseline and isinstance(baseline[key], (int, float)):
+            if key not in fresh:
+                problems.append(f"{path}: ratio {key!r} disappeared")
+                continue
+            floor = baseline[key] * (1.0 - tolerance)
+            if fresh[key] < floor:
+                problems.append(
+                    f"{path}: ratio {key!r} regressed "
+                    f"{baseline[key]} -> {fresh[key]} "
+                    f"(floor {floor:.3f} at {tolerance:.0%} tolerance)"
+                )
+    return problems
+
+
+def compare_payloads(
+    name: str, baseline: dict, fresh: dict, tolerance: float
+) -> list[str]:
+    """All regressions of ``fresh`` against ``baseline`` (empty = pass)."""
+    problems = _compare_scalars(name, baseline, fresh, tolerance)
+    if baseline.get("quick") != fresh.get("quick"):
+        problems.append(
+            f"{name}: quick-mode flag mismatch "
+            f"(baseline {baseline.get('quick')}, fresh {fresh.get('quick')}) "
+            "— compare like with like"
+        )
+    for list_key, baseline_entries in baseline.items():
+        if not (
+            isinstance(baseline_entries, list)
+            and baseline_entries
+            and isinstance(baseline_entries[0], dict)
+        ):
+            continue
+        fresh_entries = {
+            _workload_id(entry): entry
+            for entry in fresh.get(list_key, ())
+            if isinstance(entry, dict)
+        }
+        for entry in baseline_entries:
+            key = _workload_id(entry)
+            label = f"{name}:{list_key}:{'/'.join(str(k) for k in key if k)}"
+            fresh_entry = fresh_entries.get(key)
+            if fresh_entry is None:
+                problems.append(f"{label}: workload disappeared")
+                continue
+            problems.extend(
+                _compare_scalars(label, entry, fresh_entry, tolerance)
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baselines", default="benchmarks/baselines", type=Path
+    )
+    parser.add_argument("--results", default="benchmarks/results", type=Path)
+    parser.add_argument("--tolerance", default=0.20, type=float)
+    args = parser.parse_args(argv)
+
+    baselines = sorted(args.baselines.glob("*.quick.json"))
+    if not baselines:
+        print(f"no *.quick.json baselines under {args.baselines}", flush=True)
+        return 1
+    problems: list[str] = []
+    for baseline_path in baselines:
+        name = baseline_path.name[: -len(".quick.json")]
+        result_path = args.results / f"{name}.json"
+        if not result_path.exists():
+            problems.append(
+                f"{name}: fresh result {result_path} missing "
+                "(run the quick-mode benches first)"
+            )
+            continue
+        baseline = json.loads(baseline_path.read_text())
+        fresh = json.loads(result_path.read_text())
+        found = compare_payloads(name, baseline, fresh, args.tolerance)
+        problems.extend(found)
+        status = "FAIL" if found else "ok"
+        print(f"{name}: {status} ({result_path} vs {baseline_path})")
+    if problems:
+        print(f"\n{len(problems)} regression(s):")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print("no bench regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
