@@ -318,6 +318,7 @@ def run_guided_fsm(
     *,
     config: ArabesqueConfig | None = None,
     dag_provider: DagProvider | None = None,
+    catalog=None,
 ) -> GuidedFSMResult:
     """Plan-guided FSM: level-wise pattern growth, batched guided discovery.
 
@@ -343,7 +344,10 @@ def run_guided_fsm(
     top of the cached structure, so caching never recompiles orders or
     symmetry.  No step-0 universe is involved: every level run draws its
     step 0 from the DAG's own root pools (label indexes or pushed-down
-    whitelists).
+    whitelists).  ``catalog`` (a :class:`~repro.plan.stats.GraphCatalog`
+    of ``graph``) supplies the level-1 label-triple alphabet from cached
+    statistics instead of an edge-list rescan; sessions pass their
+    cached catalog.
     """
     if support_threshold < 1:
         raise ValueError("support_threshold must be >= 1")
@@ -362,7 +366,7 @@ def run_guided_fsm(
         support_threshold=support_threshold, max_edges=max_edges
     )
     result.combined.metrics = RunMetrics(num_workers=base.num_workers)
-    triples = label_triples(graph)
+    triples = label_triples(graph, catalog=catalog)
 
     def grow_level(
         frequent_now: list[tuple[Pattern, Domain]],

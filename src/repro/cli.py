@@ -196,6 +196,12 @@ def cmd_match(args: argparse.Namespace) -> int:
     # pattern files, disconnected queries, and labeled queries against a
     # stripped graph all exit cleanly instead of dumping a traceback.
     try:
+        if args.explain:
+            print(
+                session.explain(
+                    args.query, induced=induced, labeled=args.labeled
+                )
+            )
         query = configure(session.match(args.query, induced=induced), args)
         if not args.guided:
             query.exhaustive()
@@ -454,6 +460,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="cap on collected matches (counts stay exact)")
     match.add_argument("--verbose", action="store_true",
                        help="print the first 20 matches")
+    match.add_argument(
+        "--explain", action="store_true",
+        help="print the cost-based planner's report before running: "
+             "graph statistics, the chosen matching order with per-step "
+             "cardinality estimates, and the comparison against the "
+             "degree heuristic's order",
+    )
     match.set_defaults(handler=cmd_match)
 
     fsm = subparsers.add_parser("fsm", help="frequent subgraph mining")

@@ -23,6 +23,7 @@ from .synthetic import (
     mico_like,
     patents_like,
     scale_free_graph,
+    skewed_label_graph,
     sn_like,
     youtube_like,
 )
@@ -92,6 +93,7 @@ __all__ = [
     "patents_like",
     "resolve",
     "scale_free_graph",
+    "skewed_label_graph",
     "sn_like",
     "youtube_like",
 ]

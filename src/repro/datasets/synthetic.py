@@ -118,6 +118,38 @@ def instagram_like(scale: float = 1 / 30_000, seed: int = 47) -> LabeledGraph:
     return scale_free_graph(n, m, seed=seed, name="instagram-like")
 
 
+def skewed_label_graph(scale: float = 1.0, seed: int = 48) -> LabeledGraph:
+    """Adversarial label-skew fixture for the cost-based planner.
+
+    A scale-free "crowd" of frequent, high-degree label-0 vertices plus
+    a small population of rare, degree-2 label-1 vertices hanging off
+    hub-biased crowd endpoints.  A labeled query whose highest-degree
+    pattern vertex carries the crowd label (e.g. a 1-0-1 wedge) defeats
+    the pattern-only degree heuristic: it anchors the search at every
+    crowd vertex and floods the candidate stream with crowd-crowd
+    expansions, while the statistics catalog sees that the rare label's
+    step-0 pool is ~15x smaller and anchors there instead.  The planner
+    regression test and benchmark pin the resulting candidate gap.
+    """
+    rng = random.Random(seed)
+    crowd = max(int(900 * scale), 30)
+    rare = max(int(60 * scale), 6)
+    base = scale_free_graph(crowd, crowd * 6, seed=seed, name="skewed-label")
+    edges = [(u, v) for _, u, v in base.edge_iter()]
+    # Hub-biased attachment: sampling edge endpoints picks a crowd vertex
+    # proportionally to its degree, so rare vertices share crowd
+    # neighbors often enough that 1-0-1 wedges actually occur.
+    endpoints = [w for edge in edges for w in edge]
+    for i in range(rare):
+        v = crowd + i
+        targets: set[int] = set()
+        while len(targets) < 2:
+            targets.add(rng.choice(endpoints))
+        edges.extend((u, v) for u in sorted(targets))
+    labels = [0] * crowd + [1] * rare
+    return LabeledGraph(labels, sorted(edges), name="skewed-label")
+
+
 #: Registry used by the benchmark harnesses.
 DATASETS = {
     "citeseer": citeseer_like,
@@ -126,6 +158,7 @@ DATASETS = {
     "youtube": youtube_like,
     "sn": sn_like,
     "instagram": instagram_like,
+    "skewed": skewed_label_graph,
 }
 
 

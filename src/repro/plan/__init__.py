@@ -9,9 +9,19 @@ proposing only candidates that satisfy the next plan step.  See
 (automorphism restrictions), :mod:`repro.plan.guided` (execution),
 :mod:`repro.plan.dag` (multi-query plan DAGs: one shared-prefix
 exploration for a whole pattern batch), and :mod:`repro.plan.fsm_guide`
-(per-candidate plans + MNI domain math for plan-guided FSM).
+(per-candidate plans + MNI domain math for plan-guided FSM).  The
+statistics-driven half lives in :mod:`repro.plan.stats` (the per-graph
+:class:`GraphCatalog`) and :mod:`repro.plan.cost` (selectivity-chain
+order costing + the exhaustive/beam order search).
 """
 
+from .cost import (
+    OrderChoice,
+    OrderEstimate,
+    StepEstimate,
+    choose_order,
+    estimate_order,
+)
 from .dag import (
     DagMaskBundle,
     DagNode,
@@ -44,6 +54,7 @@ from .guided import (
 )
 from .planner import MatchingPlan, PlanError, PlanStep, compile_plan
 from .shapes import NAMED_SHAPES, read_pattern_file, resolve_query
+from .stats import GraphCatalog, build_catalog
 from .symmetry import (
     pattern_automorphisms,
     satisfies_restrictions,
@@ -54,13 +65,20 @@ __all__ = [
     "DagMaskBundle",
     "DagNode",
     "DagStepper",
+    "GraphCatalog",
     "MatchingPlan",
     "NAMED_SHAPES",
+    "OrderChoice",
+    "OrderEstimate",
     "PlanDAG",
     "PlanError",
     "PlanStep",
+    "StepEstimate",
     "accepting_patterns",
+    "build_catalog",
     "build_plan_dag",
+    "choose_order",
+    "estimate_order",
     "compile_candidate_dag",
     "compile_candidate_plan",
     "compile_plan",

@@ -165,25 +165,257 @@ def _step_signature(
     return (pattern.vertex_labels[vertex], back_edges)
 
 
+def _pattern_adjacency(pattern: Pattern) -> dict[int, dict[int, int]]:
+    """``vertex -> {neighbor: edge label}`` of a pattern (order search)."""
+    adjacency: dict[int, dict[int, int]] = {
+        v: {} for v in range(pattern.num_vertices)
+    }
+    for u, v, label in pattern.edges:
+        adjacency[u][v] = label
+        adjacency[v][u] = label
+    return adjacency
+
+
+def _signature_chain(
+    pattern: Pattern,
+    adjacency: dict[int, dict[int, int]],
+    order: Sequence[int],
+) -> tuple[tuple, ...]:
+    """The trie-signature sequence an order walks, root to leaf."""
+    position_of: dict[int, int] = {}
+    chain = []
+    for vertex in order:
+        chain.append(_step_signature(pattern, adjacency, position_of, vertex))
+        position_of[vertex] = len(position_of)
+    return tuple(chain)
+
+
+def _harmonized_orders(
+    batch: tuple[Pattern, ...], catalog
+) -> list[tuple[int, ...]]:
+    """Catalog-aware joint order selection: restriction harmonization.
+
+    The greedy prefix-affine search only aligns a pattern with trie
+    children its *heuristic* ranking happens to walk past — order-variant
+    prefixes of the same subpattern (typical in labeled batches, where
+    label-distinct signatures defeat the heuristic ranking) end up on
+    separate nodes doing duplicate work.  This search prices orders
+    jointly instead, in two passes:
+
+    * **pass 1** — patterns are inserted in batch order; each one picks,
+      among its cost-search candidate orders
+      (:func:`repro.plan.cost.candidate_orders`), the order minimizing
+      the estimated cost of its **novel** trie nodes only (nodes already
+      in the trie are shared and price at zero), tying back to the
+      greedy affine baseline unless an alternative is strictly cheaper;
+    * **pass 2** — with the full pass-1 trie known, every pattern
+      re-chooses against it (early members now see the prefixes later
+      members created), and the final trie is rebuilt from the final
+      orders.
+
+    Deterministic throughout: candidate enumeration, scoring tuples, and
+    tie-breaks are all total orders over plain data.
+    """
+    from .cost import candidate_orders, estimate_order
+
+    adjacencies = [_pattern_adjacency(pattern) for pattern in batch]
+    degrees = [
+        {v: len(adjacency[v]) for v in adjacency} for adjacency in adjacencies
+    ]
+    #: Per pattern: [(order, signature chain, cost estimate)].
+    priced: list[list[tuple[tuple[int, ...], tuple, object]]] = []
+    estimates: list[dict[tuple[int, ...], object]] = []
+    for index, pattern in enumerate(batch):
+        rows = []
+        memo: dict[tuple[int, ...], object] = {}
+        for order in candidate_orders(pattern, catalog):
+            estimate = estimate_order(pattern, order, catalog)
+            memo[order] = estimate
+            rows.append(
+                (order, _signature_chain(pattern, adjacencies[index], order), estimate)
+            )
+        priced.append(rows)
+        estimates.append(memo)
+
+    def estimate_for(index: int, order: tuple[int, ...]):
+        memo = estimates[index]
+        estimate = memo.get(order)
+        if estimate is None:
+            estimate = estimate_order(batch[index], order, catalog)
+            memo[order] = estimate
+        return estimate
+
+    def score(
+        chain: tuple[tuple, ...],
+        estimate,
+        root_children: dict,
+        node_children: list[dict],
+    ) -> tuple[float, int, float]:
+        """(novel-node cost, novel-node count, total cost) of inserting
+        ``chain`` into the given trie — shared prefixes price at zero."""
+        parent: int | None = None
+        diverged = False
+        novel_cost = 0.0
+        novel = 0
+        for depth, signature in enumerate(chain):
+            if not diverged:
+                table = root_children if parent is None else node_children[parent]
+                child = table.get(signature)
+                if child is not None:
+                    parent = child
+                    continue
+                diverged = True
+            novel_cost += estimate.steps[depth].candidates
+            novel += 1
+        return (novel_cost, novel, estimate.total_candidates)
+
+    def insert(
+        chain: tuple[tuple, ...],
+        root_children: dict,
+        node_children: list[dict],
+    ) -> None:
+        parent: int | None = None
+        for signature in chain:
+            table = root_children if parent is None else node_children[parent]
+            child = table.get(signature)
+            if child is None:
+                child = len(node_children)
+                node_children.append({})
+                table[signature] = child
+            parent = child
+
+    def affine_greedy(
+        index: int, root_children: dict, node_children: list[dict]
+    ) -> tuple[int, ...]:
+        """The catalog-free greedy order against the current trie (the
+        baseline an alternative must strictly beat)."""
+        pattern = batch[index]
+        adjacency = adjacencies[index]
+        degree = degrees[index]
+        position_of: dict[int, int] = {}
+        order: list[int] = []
+        parent: int | None = None
+        diverged = False
+        while len(order) < pattern.num_vertices:
+            if order:
+                frontier = [
+                    v
+                    for v in range(pattern.num_vertices)
+                    if v not in position_of
+                    and position_of.keys() & adjacency[v].keys()
+                ]
+            else:
+                frontier = list(range(pattern.num_vertices))
+            ranked = sorted(
+                frontier,
+                key=lambda v: (
+                    len(position_of.keys() & adjacency[v].keys()),
+                    degree[v],
+                    -v,
+                ),
+                reverse=True,
+            )
+            chosen = ranked[0]
+            if not diverged:
+                table = root_children if parent is None else node_children[parent]
+                match = next(
+                    (
+                        v
+                        for v in ranked
+                        if _step_signature(pattern, adjacency, position_of, v)
+                        in table
+                    ),
+                    None,
+                )
+                if match is None:
+                    diverged = True
+                else:
+                    chosen = match
+                    parent = table[
+                        _step_signature(pattern, adjacency, position_of, chosen)
+                    ]
+            position_of[chosen] = len(order)
+            order.append(chosen)
+        return tuple(order)
+
+    def choose(
+        index: int,
+        root_children: dict,
+        node_children: list[dict],
+        baseline_order: tuple[int, ...],
+    ) -> tuple[int, ...]:
+        pattern = batch[index]
+        baseline_score = score(
+            _signature_chain(pattern, adjacencies[index], baseline_order),
+            estimate_for(index, baseline_order),
+            root_children,
+            node_children,
+        )
+        best: tuple[tuple[float, int, float], tuple[int, ...]] | None = None
+        for order, chain, estimate in priced[index]:
+            if order == baseline_order:
+                continue
+            key = (score(chain, estimate, root_children, node_children), order)
+            if best is None or key < best:
+                best = key
+        if best is not None and best[0] < baseline_score:
+            return best[1]
+        return baseline_order
+
+    root1: dict = {}
+    children1: list[dict] = []
+    pass1: list[tuple[int, ...]] = []
+    for index, pattern in enumerate(batch):
+        baseline = affine_greedy(index, root1, children1)
+        order = choose(index, root1, children1, baseline)
+        pass1.append(order)
+        insert(_signature_chain(pattern, adjacencies[index], order), root1, children1)
+    return [
+        choose(index, root1, children1, pass1[index])
+        for index in range(len(batch))
+    ]
+
+
 def build_plan_dag(
-    patterns: Sequence[Pattern], induced: bool = True
+    patterns: Sequence[Pattern], induced: bool = True, *, catalog=None
 ) -> PlanDAG:
     """Compile a batch of patterns into one prefix-sharing :class:`PlanDAG`.
 
     Patterns are inserted into the trie in batch order; each one's
     matching order is chosen greedily — at every step, prefer a frontier
-    vertex whose structural signature matches an existing child of the
+    vertex whose structural step signature (required vertex label +
+    back-edges with edge labels) matches an existing child of the
     current trie node (so shared subpatterns align), falling back to the
     single-plan connectivity heuristic (most placed neighbors, then
-    degree, then smaller id) when nothing matches.  Raises
-    :class:`PlanError` for an empty batch, duplicate patterns, or any
-    empty/disconnected member.
+    degree, then smaller id) when nothing matches.
+
+    ``catalog`` (a :class:`~repro.plan.stats.GraphCatalog`) upgrades the
+    order search to the jointly-costed **harmonized** mode
+    (:func:`_harmonized_orders`) on graphs with more than one vertex
+    label: shared prefixes are priced at zero, so order-variant prefixes
+    of the same subpattern collapse onto one :class:`DagNode` whenever
+    the cost model says the alignment is worth it.  On single-label
+    graphs the statistics cannot separate label pools and the greedy
+    alignment is kept — byte-identical to ``catalog=None``.  Order
+    choice never affects results, only candidate counts.
+
+    Raises :class:`PlanError` for an empty batch, duplicate patterns, or
+    any empty/disconnected member.
     """
     batch = tuple(patterns)
     if not batch:
         raise PlanError("pattern batch must not be empty")
     if len(set(batch)) != len(batch):
         raise PlanError("pattern batch contains duplicate patterns")
+    for pattern in batch:
+        if pattern.num_vertices == 0:
+            raise PlanError("query pattern must not be empty")
+        if not pattern.is_connected():
+            raise PlanError("query pattern must be connected")
+
+    harmonized: list[tuple[int, ...]] | None = None
+    if catalog is not None and len(catalog.label_frequency) > 1:
+        harmonized = _harmonized_orders(batch, catalog)
 
     #: Child tables: root_children for position 0, node_children[i] for
     #: the children of node i.  node_info[i] = (position, signature).
@@ -203,50 +435,45 @@ def build_plan_dag(
 
     orders: list[tuple[int, ...]] = []
     paths: list[tuple[int, ...]] = []
-    for pattern in batch:
-        if pattern.num_vertices == 0:
-            raise PlanError("query pattern must not be empty")
-        if not pattern.is_connected():
-            raise PlanError("query pattern must be connected")
-        adjacency: dict[int, dict[int, int]] = {
-            v: {} for v in range(pattern.num_vertices)
-        }
-        for u, v, label in pattern.edges:
-            adjacency[u][v] = label
-            adjacency[v][u] = label
+    for member, pattern in enumerate(batch):
+        adjacency = _pattern_adjacency(pattern)
         degree = {v: len(adjacency[v]) for v in range(pattern.num_vertices)}
         position_of: dict[int, int] = {}
         order: list[int] = []
         path: list[int] = []
         parent: int | None = None
         while len(order) < pattern.num_vertices:
-            if order:
-                frontier = [
-                    v
-                    for v in range(pattern.num_vertices)
-                    if v not in position_of and position_of.keys() & adjacency[v].keys()
-                ]
+            if harmonized is not None:
+                chosen = harmonized[member][len(order)]
             else:
-                frontier = list(range(pattern.num_vertices))
-            ranked = sorted(
-                frontier,
-                key=lambda v: (
-                    len(position_of.keys() & adjacency[v].keys()),
-                    degree[v],
-                    -v,
-                ),
-                reverse=True,
-            )
-            table = root_children if parent is None else node_children[parent]
-            chosen = next(
-                (
-                    v
-                    for v in ranked
-                    if _step_signature(pattern, adjacency, position_of, v)
-                    in table
-                ),
-                ranked[0],
-            )
+                if order:
+                    frontier = [
+                        v
+                        for v in range(pattern.num_vertices)
+                        if v not in position_of
+                        and position_of.keys() & adjacency[v].keys()
+                    ]
+                else:
+                    frontier = list(range(pattern.num_vertices))
+                ranked = sorted(
+                    frontier,
+                    key=lambda v: (
+                        len(position_of.keys() & adjacency[v].keys()),
+                        degree[v],
+                        -v,
+                    ),
+                    reverse=True,
+                )
+                table = root_children if parent is None else node_children[parent]
+                chosen = next(
+                    (
+                        v
+                        for v in ranked
+                        if _step_signature(pattern, adjacency, position_of, v)
+                        in table
+                    ),
+                    ranked[0],
+                )
             signature = _step_signature(pattern, adjacency, position_of, chosen)
             parent = child_of(parent, signature, len(order))
             path.append(parent)
@@ -431,9 +658,18 @@ def _pool_for_nodes(
 ) -> Sequence[int]:
     """Merged sorted-unique candidate pool of the given trie nodes.
 
-    Per-node pools are neighbor (or whitelist/label) bitsets; merging is
-    one ``|`` per node and one ascending decode — no set churn.  The
-    single-node unrestricted case returns the anchor's CSR row directly.
+    Each node's pool is **closure-complete**: the intersection of *all*
+    its shared back-edge neighbor rows (then the union whitelist) — the
+    node honors every structural back-edge its members agree on, so a
+    shared node's pool admits only vertices adjacent to the whole
+    anchored prefix, not just the cheapest single anchor.  The
+    intersection is amortized across every member routed through the
+    node, which is exactly the sharing win a solo plan (one member per
+    "node") does not get — the solo kernel keeps its single min-degree
+    anchor row (:func:`repro.plan.guided.guided_candidates`).  Merging
+    is one ``&`` chain + one ``|`` per node and one ascending decode; a
+    single one-back-edge unrestricted node returns the anchor's CSR row
+    directly.
     """
     if not live_nodes:
         return ()
@@ -441,7 +677,8 @@ def _pool_for_nodes(
     single = len(live_nodes) == 1
     for node_id in live_nodes:
         node = dag.nodes[node_id]
-        if not node.back_edges:
+        back = node.back_edges
+        if not back:
             # A node without back-neighbors is a root; connected-prefix
             # order validation keeps roots out of positions >= 1, so a
             # violated invariant must fail loudly rather than quietly
@@ -453,16 +690,14 @@ def _pool_for_nodes(
                 else graph.label_bits(node.vertex_label)
             )
             continue
-        anchor = min(
-            (words[earlier] for earlier, _ in node.back_edges),
-            key=lambda vertex: (graph.degree(vertex), vertex),
-        )
-        if node.allowed is None:
-            if single:
-                return graph.neighbors(anchor)
-            merged |= graph.neighbor_bits(anchor)
-        else:
-            merged |= graph.neighbor_bits(anchor) & node.allowed
+        if single and len(back) == 1 and node.allowed is None:
+            return graph.neighbors(words[back[0][0]])
+        pool = graph.neighbor_bits(words[back[0][0]])
+        for earlier, _ in back[1:]:
+            pool &= graph.neighbor_bits(words[earlier])
+        if node.allowed is not None:
+            pool &= node.allowed
+        merged |= pool
     return from_bitset(merged)
 
 
@@ -471,11 +706,15 @@ def dag_candidates(
 ) -> Sequence[int]:
     """Candidate pool for extending ``words`` by one step, batch-wide.
 
-    One anchor neighborhood per distinct trie node the surviving patterns
-    occupy next (each pre-filtered by the node's union whitelist), merged
+    One closure-complete pool per distinct trie node the surviving
+    patterns occupy next (the intersection of the node's back-edge
+    neighbor rows, pre-filtered by its union whitelist), merged
     sorted-unique — the sharing win: a candidate proposed by several
-    sibling patterns is generated (and counted) once.  Completeness per
-    pattern is the single-plan argument, applied per node.
+    sibling patterns is generated (and counted) once, and the per-node
+    intersection cost is amortized across every member routed through
+    the node.  Completeness per pattern is the single-plan argument
+    (every member back-edge is a shared node back-edge), applied per
+    node.
     """
     position = len(words)
     live_nodes = sorted(
@@ -827,28 +1066,22 @@ class DagStepper:
         if not by_node:
             return 0, ()
         live_nodes = sorted(by_node)
-        # Resolve each node's anchor once; its degree doubles as the
-        # pool-size estimate the hybrid decision reads (a popcount the
-        # CSR offsets hand over for free).
-        anchors: dict[int, int] = {}
+        # Estimate each node's pool by its cheapest back-neighbor degree
+        # (an upper bound on the closure-complete intersection — a
+        # popcount the CSR offsets hand over for free); the sum drives
+        # the hybrid decision.
         estimate = 0
         for node_id in live_nodes:
             node = nodes[node_id]
             back = node.back_edges
             if back:
-                # Unrolled min-by-(degree, id): no genexp/lambda frames
-                # on the hot path, and the winning degree IS the node's
-                # pool-size estimate.
-                anchor = words[back[0][0]]
-                degree = graph.degree(anchor)
+                # Unrolled min-degree scan: no genexp/lambda frames on
+                # the hot path.
+                degree = graph.degree(words[back[0][0]])
                 for earlier, _ in back[1:]:
-                    vertex = words[earlier]
-                    vertex_degree = graph.degree(vertex)
-                    if vertex_degree < degree or (
-                        vertex_degree == degree and vertex < anchor
-                    ):
-                        anchor, degree = vertex, vertex_degree
-                anchors[node_id] = anchor
+                    vertex_degree = graph.degree(words[earlier])
+                    if vertex_degree < degree:
+                        degree = vertex_degree
                 estimate += degree
             else:
                 assert not words, "back-edge-less DAG node reached mid-plan"
@@ -858,7 +1091,7 @@ class DagStepper:
             strategy is None and prefers_row_iteration(estimate)
         ):
             return self._row_step(words, by_node, live_nodes)
-        return self._masked_step(words, by_node, live_nodes, anchors)
+        return self._masked_step(words, by_node, live_nodes)
 
     def _row_step(
         self,
@@ -895,11 +1128,14 @@ class DagStepper:
         words: tuple[int, ...],
         by_node: dict[int, list[int]],
         live_nodes: list[int],
-        anchors: dict[int, int],
     ) -> tuple[int, tuple[int, ...]]:
         """The dense path: one structural ``&`` chain per live node over
         the bundle's masks, decoded once per node; per-member residuals
-        run on the decoded survivors only."""
+        run on the decoded survivors only.  The node pool is the
+        closure-complete back-row intersection (see
+        :func:`_pool_for_nodes`), so the shared back-edge ``&``s price
+        into the pool — the same chain the structural check needs anyway
+        — instead of inflating the counted candidate stream."""
         depth = len(words)
         dag = self.dag
         graph = self.graph
@@ -915,7 +1151,10 @@ class DagStepper:
                 pool_bits = bundle.root_pools[node_id]
                 struct = pool_bits & bundle.label_masks[node_id]
             else:
-                pool_bits = graph.neighbor_bits(anchors[node_id])
+                back = node.back_edges
+                pool_bits = graph.neighbor_bits(words[back[0][0]])
+                for earlier, _ in back[1:]:
+                    pool_bits &= graph.neighbor_bits(words[earlier])
                 if node.allowed is not None:
                     pool_bits &= node.allowed
                 verdict = bundle.edge_label_ok[node_id]
@@ -923,10 +1162,6 @@ class DagStepper:
                     struct = 0
                 else:
                     struct = pool_bits & bundle.label_masks[node_id]
-                    for earlier, _ in node.back_edges:
-                        if not struct:
-                            break
-                        struct &= graph.neighbor_bits(words[earlier])
                     if struct:
                         struct &= exclude
             merged_pool |= pool_bits

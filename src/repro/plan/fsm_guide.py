@@ -51,27 +51,35 @@ from .planner import MatchingPlan, PlanError, compile_plan
 DagProvider = Callable[[tuple[Pattern, ...]], PlanDAG]
 
 
-def compile_candidate_plan(pattern: Pattern) -> MatchingPlan:
+def compile_candidate_plan(
+    pattern: Pattern, *, catalog=None
+) -> MatchingPlan:
     """Compile one FSM candidate pattern into its guided matching plan.
 
     The pattern must be canonical (candidates from this module always
     are) and connected; the plan uses monomorphic semantics, matching
-    edge-based FSM embedding semantics.
+    edge-based FSM embedding semantics.  ``catalog`` (a
+    :class:`~repro.plan.stats.GraphCatalog`) switches the matching-order
+    choice to the cost-based search — results are identical either way.
     """
     if not pattern.is_canonical():
         raise PlanError(
             "FSM candidate plans are cached by canonical pattern; "
             "canonicalize the candidate before compiling"
         )
-    return compile_plan(pattern, induced=False)
+    return compile_plan(pattern, induced=False, catalog=catalog)
 
 
-def compile_candidate_dag(patterns: tuple[Pattern, ...]) -> PlanDAG:
+def compile_candidate_dag(
+    patterns: tuple[Pattern, ...], *, catalog=None
+) -> PlanDAG:
     """Compile one FSM level's candidate batch into a shared-prefix DAG.
 
     Every member must be canonical (candidates from this module always
     are — DAG caches key by the canonical batch); the DAG uses
     monomorphic semantics, matching edge-based FSM embedding semantics.
+    ``catalog`` enables the jointly-costed harmonized order search
+    (:func:`repro.plan.dag.build_plan_dag`).
     """
     for pattern in patterns:
         if not pattern.is_canonical():
@@ -79,7 +87,7 @@ def compile_candidate_dag(patterns: tuple[Pattern, ...]) -> PlanDAG:
                 "FSM candidate DAGs are cached by canonical pattern batch; "
                 "canonicalize the candidates before compiling"
             )
-    return build_plan_dag(patterns, induced=False)
+    return build_plan_dag(patterns, induced=False, catalog=catalog)
 
 
 def prewarm_level_dag(dag: PlanDAG, graph: LabeledGraph) -> PlanDAG:
@@ -115,10 +123,17 @@ def default_dag_provider() -> DagProvider:
 # ----------------------------------------------------------------------
 # Level-wise candidate generation (pattern growth over label triples)
 # ----------------------------------------------------------------------
-def label_triples(graph: LabeledGraph) -> set[tuple[int, int, int]]:
+def label_triples(
+    graph: LabeledGraph, *, catalog=None
+) -> set[tuple[int, int, int]]:
     """Distinct ``(vertex label, edge label, vertex label)`` triples
     present in the graph, both orientations — the alphabet any frequent
-    pattern's edges must be drawn from."""
+    pattern's edges must be drawn from.  ``catalog`` (a
+    :class:`~repro.plan.stats.GraphCatalog` of the same graph) answers
+    from the cached statistics instead of re-walking the edge list —
+    the catalog records exactly this set."""
+    if catalog is not None:
+        return set(catalog.triples)
     triples: set[tuple[int, int, int]] = set()
     for eid, u, v in graph.edge_iter():
         lu, lv = graph.vertex_label(u), graph.vertex_label(v)

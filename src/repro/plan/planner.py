@@ -176,6 +176,7 @@ def compile_plan(
     induced: bool = True,
     *,
     order: tuple[int, ...] | None = None,
+    catalog=None,
 ) -> MatchingPlan:
     """Compile ``pattern`` into a :class:`MatchingPlan`.
 
@@ -185,7 +186,12 @@ def compile_plan(
     heuristic with an explicit matching order (validated: a permutation
     with connected prefixes) — the prefix-affine mode multi-query DAG
     compilation uses so sibling patterns agree on their common
-    subpattern's order (:mod:`repro.plan.dag`).  Raises
+    subpattern's order (:mod:`repro.plan.dag`).  ``catalog`` (a
+    :class:`~repro.plan.stats.GraphCatalog`; ignored when ``order`` is
+    given) switches the order choice to the cost-based search of
+    :func:`repro.plan.cost.choose_order` — the heuristic order still
+    wins every cost tie, and order choice never affects *results*, only
+    how many candidates are generated finding them.  Raises
     :class:`PlanError` for empty or disconnected patterns.
     """
     if pattern.num_vertices == 0:
@@ -195,7 +201,13 @@ def compile_plan(
         # one message, whichever mode hits it first.
         raise PlanError("query pattern must be connected")
     if order is None:
-        order = _matching_order(pattern)
+        if catalog is None:
+            order = _matching_order(pattern)
+        else:
+            # Local import: cost builds on the planner's heuristic.
+            from .cost import choose_order
+
+            order = choose_order(pattern, catalog).order
     else:
         order = _validated_order(pattern, order)
     position_of = {vertex: i for i, vertex in enumerate(order)}

@@ -58,6 +58,7 @@ from ..graph import LabeledGraph
 from ..graph.generators import strip_labels
 from ..plan.dag import PlanDAG, build_plan_dag, has_mask_bundle
 from ..plan.planner import MatchingPlan, compile_plan
+from ..plan.stats import GraphCatalog, build_catalog
 
 from .query import (
     CliqueQuery,
@@ -99,6 +100,12 @@ class SessionCacheInfo:
     warm_mask_bundles: int = 0
     #: Label-stripped graph variants built (0 or 1).
     strip_builds: int = 0
+    #: Statistics catalogs built (at most one per graph variant) — the
+    #: cost-based planner's per-graph input, cached like the step-0
+    #: universe.
+    catalog_builds: int = 0
+    #: Catalog lookups served from the session cache.
+    catalog_hits: int = 0
 
 
 class Miner:
@@ -120,8 +127,13 @@ class Miner:
         self.graph = graph
         self._unlabeled: LabeledGraph | None = None
         self._universes: dict[str, tuple[int, ...]] = {}
-        self._plans: dict[tuple[Pattern, bool], MatchingPlan] = {}
-        self._dags: dict[tuple[tuple[Pattern, ...], bool], PlanDAG] = {}
+        #: Plan/DAG caches key on the graph variant too (the ``labeled``
+        #: flag): the cost-based order choice reads the variant's
+        #: statistics catalog, so the same pattern may compile to
+        #: different (equally correct) orders per variant.
+        self._plans: dict[tuple[Pattern, bool, bool], MatchingPlan] = {}
+        self._dags: dict[tuple[tuple[Pattern, ...], bool, bool], PlanDAG] = {}
+        self._catalogs: dict[bool, GraphCatalog] = {}
         self._info = SessionCacheInfo()
         #: Guards every cache's check-and-set and every counter bump, so
         #: concurrent queries on one session (the query service) never
@@ -160,6 +172,37 @@ class Miner:
         vertex-induced occurrences to monomorphisms.
         """
         return MatchQuery(self, query, induced=induced)
+
+    def explain(
+        self,
+        query: "Pattern | str",
+        *,
+        induced: bool = True,
+        labeled: bool = True,
+    ) -> str:
+        """A human-readable plan report for ``query`` without running it.
+
+        Shows the graph's statistics catalog summary, the matching
+        order the cost-based planner chose, its per-step cardinality
+        estimates, and how it compares to the degree heuristic's order
+        (including *why* one won).  The same report backs the CLI's
+        ``match --explain``.
+        """
+        from ..plan.cost import choose_order
+        from ..plan.shapes import resolve_query
+
+        if isinstance(query, str):
+            query = resolve_query(query)
+        pattern = query.canonical()
+        catalog = self._catalog_for(labeled)
+        choice = choose_order(pattern, catalog)
+        plan = self._plan_for(pattern, induced, labeled)
+        lines = [
+            f"graph: {catalog.describe()}",
+            f"plan: {plan.describe()}",
+            choice.describe(),
+        ]
+        return "\n".join(lines)
 
     def fsm(self, support: int, *, max_edges: int | None = None) -> FSMQuery:
         """Frequent subgraph mining with MNI support threshold ``support``.
@@ -242,13 +285,40 @@ class Miner:
                 self._info.strip_builds += 1
             return self._unlabeled
 
-    def _plan_for(self, pattern: Pattern, induced: bool) -> MatchingPlan:
-        """Compile (or fetch) the plan for a canonical pattern."""
-        key = (pattern, induced)
+    def _catalog_for(self, labeled: bool = True) -> GraphCatalog:
+        """Build (or fetch) the graph variant's statistics catalog —
+        the cost-based planner's input, cached like the step-0
+        universe."""
+        graph = self._graph_variant(labeled)
+        with self._lock:
+            catalog = self._catalogs.get(labeled)
+            if catalog is None:
+                catalog = build_catalog(graph)
+                self._catalogs[labeled] = catalog
+                self._info.catalog_builds += 1
+            else:
+                self._info.catalog_hits += 1
+            return catalog
+
+    def _plan_for(
+        self, pattern: Pattern, induced: bool, labeled: bool = True
+    ) -> MatchingPlan:
+        """Compile (or fetch) the plan for a canonical pattern.
+
+        Compilation is cost-based: the graph variant's cached catalog
+        prices candidate matching orders and the cheapest wins (the
+        degree heuristic keeps every tie) — order choice affects only
+        candidate counts, never results.
+        """
+        key = (pattern, induced, labeled)
         with self._lock:
             plan = self._plans.get(key)
             if plan is None:
-                plan = compile_plan(pattern, induced=induced)
+                plan = compile_plan(
+                    pattern,
+                    induced=induced,
+                    catalog=self._catalog_for(labeled),
+                )
                 self._plans[key] = plan
                 self._info.plan_compilations += 1
             else:
@@ -256,21 +326,27 @@ class Miner:
             return plan
 
     def _dag_for(
-        self, patterns: tuple[Pattern, ...], induced: bool
+        self, patterns: tuple[Pattern, ...], induced: bool, labeled: bool = True
     ) -> PlanDAG:
         """Compile (or fetch) the multi-query DAG for a canonical batch.
 
-        Keys on the exact batch tuple + semantics: guided motifs reuse
-        one DAG per (graph variant, size range) across repeated runs,
-        and guided FSM one per level batch — per-run domain whitelists
-        are overlaid by the caller (:func:`repro.plan.dag.restrict_dag`)
-        without touching the cached structure.
+        Keys on the exact batch tuple + semantics + graph variant:
+        guided motifs reuse one DAG per (graph variant, size range)
+        across repeated runs, and guided FSM one per level batch —
+        per-run domain whitelists are overlaid by the caller
+        (:func:`repro.plan.dag.restrict_dag`) without touching the
+        cached structure.  Compilation reads the variant's catalog, so
+        labeled batches get the jointly-costed harmonized order search.
         """
-        key = (tuple(patterns), induced)
+        key = (tuple(patterns), induced, labeled)
         with self._lock:
             dag = self._dags.get(key)
             if dag is None:
-                dag = build_plan_dag(key[0], induced=induced)
+                dag = build_plan_dag(
+                    key[0],
+                    induced=induced,
+                    catalog=self._catalog_for(labeled),
+                )
                 self._dags[key] = dag
                 self._info.dag_compilations += 1
             else:
@@ -324,12 +400,16 @@ class Miner:
         needed — guided runs draw step 0 from each DAG's own root pools."""
         from ..apps.fsm import run_guided_fsm
 
+        labeled = graph is self.graph
         result = run_guided_fsm(
             graph,
             support,
             max_edges=max_edges,
             config=config,
-            dag_provider=lambda patterns: self._dag_for(patterns, False),
+            dag_provider=lambda patterns: self._dag_for(
+                patterns, False, labeled
+            ),
+            catalog=self._catalog_for(labeled),
         )
         with self._lock:
             self._info.runs += result.engine_runs
@@ -349,12 +429,15 @@ class Miner:
         are its own step 0."""
         from ..apps.motifs import run_guided_motifs
 
+        labeled = graph is self.graph
         result = run_guided_motifs(
             graph,
             max_size,
             min_size=min_size,
             config=config,
-            dag_provider=lambda patterns: self._dag_for(patterns, True),
+            dag_provider=lambda patterns: self._dag_for(
+                patterns, True, labeled
+            ),
         )
         with self._lock:
             self._info.runs += result.engine_runs

@@ -713,7 +713,9 @@ class MatchQuery(Query, _PatternShaped):
 
     def _resolved_plan(self) -> MatchingPlan:
         if self._plan is None:
-            self._plan = self._miner._plan_for(self._query, self._induced)
+            self._plan = self._miner._plan_for(
+                self._query, self._induced, self._labeled
+            )
         return self._plan
 
     def _build_config(self) -> ArabesqueConfig:

@@ -211,6 +211,23 @@ class TestMatchCommand:
         exhaustive_out = capsys.readouterr().out
         assert self._match_count(guided_out) == self._match_count(exhaustive_out)
 
+    def test_explain_prints_cost_report(self, capsys, edge_list_file):
+        assert main(
+            ["match", str(edge_list_file), "wedge", "--explain"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "graph: V=" in out
+        assert "winner=" in out
+        assert "reason:" in out
+        assert "step 0" in out
+
+    def test_explain_skewed_reports_cost_win(self, capsys):
+        # The bundled adversarial dataset is where the cost model beats
+        # the degree heuristic — the report must say so.
+        assert main(["match", "skewed", "triangle", "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "winner=" in out
+
     def test_monomorphic_semantics(self, capsys, edge_list_file):
         assert main(
             ["match", str(edge_list_file), "wedge", "--guided", "--monomorphic"]

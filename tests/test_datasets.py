@@ -87,4 +87,7 @@ class TestStatistics:
         assert "citeseer-like" in stats.row()
 
     def test_paper_table_complete(self):
-        assert set(PAPER_TABLE1) == set(DATASETS)
+        # Every Table 1 dataset has a generator; the registry may carry
+        # extra non-paper fixtures (the adversarial "skewed" graph).
+        assert set(PAPER_TABLE1) <= set(DATASETS)
+        assert "skewed" in DATASETS

@@ -369,9 +369,9 @@ class TestSessionCaching:
         calls = []
         real_compile = miner_module.compile_plan
 
-        def counting_compile(pattern, induced=True):
+        def counting_compile(pattern, induced=True, *, catalog=None):
             calls.append((pattern, induced))
-            return real_compile(pattern, induced=induced)
+            return real_compile(pattern, induced=induced, catalog=catalog)
 
         monkeypatch.setattr(miner_module, "compile_plan", counting_compile)
         first = miner.match("square").unlabeled().run()

@@ -43,8 +43,12 @@ EXACT_KEYS = (
     "survivors",
     "candidates_exhaustive",
     "candidates_guided",
+    "candidates_cost",
+    "candidates_heuristic",
     "total_candidates_exhaustive",
     "total_candidates_guided",
+    "total_candidates_cost",
+    "total_candidates_heuristic",
 )
 
 #: Ratio keys: relative same-machine timings, tolerance-checked
@@ -56,6 +60,7 @@ RATIO_KEYS = (
     "aggregate_wall_ratio",
     "best_dag_fused_wall_ratio",
     "aggregate_candidate_ratio",
+    "best_skewed_wall_ratio",
 )
 
 #: Keys naming a workload entry inside a ``workloads``-style list.
